@@ -1,0 +1,24 @@
+"""Benchmark-suite configuration.
+
+Benchmarks run with ``pytest benchmarks/ --benchmark-only``.  Each
+table/figure also has a standalone ``run_*.py`` script that prints the
+paper-style rows over the full parameter sweep; the pytest benchmarks
+cover a representative subset of each sweep so the suite stays fast.
+"""
+
+import sys
+from pathlib import Path
+
+import pytest
+
+# Allow `from benchmarks.workloads import ...` regardless of rootdir.
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+
+import repro
+
+
+@pytest.fixture(autouse=True)
+def _seed():
+    repro.set_random_seed(0)
+    yield
+    repro.set_random_seed(None)

@@ -1,0 +1,79 @@
+#!/usr/bin/env python
+"""Regenerate paper Figure 3: ResNet-50 training throughput on a GPU.
+
+Prints both panels of the figure as tables: examples/second for
+TFE (imperative), TFE + function (staged), and TF (classic graphs) over
+batch sizes 1-32, and the percent improvement of the latter two over
+imperative TFE.
+
+Usage:
+    python benchmarks/run_fig3.py [--quick] [--device /gpu:0]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+sys.path.insert(0, ".")
+
+from benchmarks.workloads import MODES, ResNetTrainer, measure_examples_per_second
+
+LABELS = {"eager": "TFE", "function": "TFE + function", "v1": "TF"}
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true", help="smaller sweep")
+    parser.add_argument("--device", default="/gpu:0", help="device to train on")
+    parser.add_argument("--width", type=int, default=8, help="ResNet width")
+    parser.add_argument("--image-size", type=int, default=32)
+    parser.add_argument("--iterations", type=int, default=10)
+    parser.add_argument("--runs", type=int, default=3)
+    args = parser.parse_args()
+
+    batch_sizes = [1, 4, 16] if args.quick else [1, 2, 4, 8, 16, 32]
+    iterations = 3 if args.quick else args.iterations
+    runs = 1 if args.quick else args.runs
+
+    results: dict[str, dict[int, float]] = {m: {} for m in MODES}
+    for batch_size in batch_sizes:
+        for mode in MODES:
+            trainer = ResNetTrainer(
+                batch_size,
+                mode,
+                device=args.device,
+                image_size=args.image_size,
+                width=args.width,
+            )
+            rate = measure_examples_per_second(
+                trainer.step, batch_size, iterations=iterations, runs=runs
+            )
+            results[mode][batch_size] = rate
+            print(
+                f"  [measured] bs={batch_size:<3d} {LABELS[mode]:16s} "
+                f"{rate:8.1f} examples/sec",
+                flush=True,
+            )
+
+    print("\nFigure 3 (top): examples / second, ResNet-50 on GPU")
+    header = f"{'batch size':>12} |" + "".join(f"{b:>9}" for b in batch_sizes)
+    print(header)
+    print("-" * len(header))
+    for mode in MODES:
+        row = "".join(f"{results[mode][b]:9.1f}" for b in batch_sizes)
+        print(f"{LABELS[mode]:>12} |{row}")
+
+    print("\nFigure 3 (bottom): % improvement over TFE")
+    print(header)
+    print("-" * len(header))
+    for mode in ("function", "v1"):
+        row = "".join(
+            f"{100.0 * (results[mode][b] / results['eager'][b] - 1.0):9.1f}"
+            for b in batch_sizes
+        )
+        print(f"{LABELS[mode]:>12} |{row}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,72 @@
+#!/usr/bin/env python
+"""Regenerate paper Figure 4: L2HMC training examples/sec on the CPU.
+
+"The benchmark samples from a 2-dimensional distribution, with 10 steps
+for the leapfrog integrator" (§6), over sample counts 10-200, for TFE,
+TFE + function, and TF.
+
+Usage:
+    python benchmarks/run_fig4.py [--quick]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+sys.path.insert(0, ".")
+
+from benchmarks.workloads import (
+    MODES,
+    L2HMCTrainer,
+    measure_examples_per_second,
+)
+
+LABELS = {"eager": "TFE", "function": "TFE + function", "v1": "TF"}
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true")
+    parser.add_argument("--leapfrog-steps", type=int, default=10)
+    args = parser.parse_args()
+
+    sample_counts = [10, 100] if args.quick else [10, 25, 50, 100, 200]
+    iterations = 3 if args.quick else 10
+    runs = 1 if args.quick else 3
+
+    results: dict[str, dict[int, float]] = {m: {} for m in MODES}
+    for num_samples in sample_counts:
+        for mode in MODES:
+            trainer = L2HMCTrainer(
+                num_samples, mode, num_steps=args.leapfrog_steps
+            )
+            rate = measure_examples_per_second(
+                trainer.step, num_samples, iterations=iterations, runs=runs
+            )
+            results[mode][num_samples] = rate
+            print(
+                f"  [measured] samples={num_samples:<4d} {LABELS[mode]:16s} "
+                f"{rate:8.1f} examples/sec",
+                flush=True,
+            )
+
+    print("\nFigure 4: examples / second, L2HMC on CPU")
+    header = f"{'samples':>16} |" + "".join(f"{n:>9}" for n in sample_counts)
+    print(header)
+    print("-" * len(header))
+    for mode in MODES:
+        row = "".join(f"{results[mode][n]:9.1f}" for n in sample_counts)
+        print(f"{LABELS[mode]:>16} |{row}")
+
+    print("\nStaging speedup over TFE (paper: at least an order of magnitude)")
+    for n in sample_counts:
+        print(
+            f"  samples={n:<4d}  function: "
+            f"{results['function'][n] / results['eager'][n]:5.1f}x   "
+            f"TF: {results['v1'][n] / results['eager'][n]:5.1f}x"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,81 @@
+#!/usr/bin/env python
+"""Regenerate paper Table 1: ResNet-50 training examples/sec on a TPU.
+
+Two rows: per-operation imperative execution ("TensorFlow Eager") and
+the whole training step compiled as one program ("TensorFlow Eager with
+function").  Throughput is reported against the simulated TPU clock —
+the device only models launch overhead and roofline compute; values are
+still computed (on the host) so the training is real.  See DESIGN.md,
+substitutions.
+
+Usage:
+    python benchmarks/run_tab1.py [--quick]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+sys.path.insert(0, ".")
+
+import repro
+import repro.xla  # installs the TPU bridge
+from repro.runtime.context import context
+
+from benchmarks.workloads import ResNetTrainer, measure_simulated_examples_per_second
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true")
+    parser.add_argument("--width", type=int, default=8)
+    parser.add_argument("--image-size", type=int, default=32)
+    args = parser.parse_args()
+
+    batch_sizes = [1, 8, 32] if args.quick else [1, 2, 4, 8, 16, 32]
+    iterations = 2 if args.quick else 5
+    device = context.get_device("/tpu:0")
+
+    rows: dict[str, dict[int, float]] = {"eager": {}, "function": {}}
+    for batch_size in batch_sizes:
+        for mode in ("eager", "function"):
+            trainer = ResNetTrainer(
+                batch_size,
+                mode,
+                device="/tpu:0",
+                image_size=args.image_size,
+                width=args.width,
+            )
+            rate = measure_simulated_examples_per_second(
+                trainer.step, batch_size, device, iterations=iterations
+            )
+            rows[mode][batch_size] = rate
+            label = "TFE" if mode == "eager" else "TFE with function"
+            print(
+                f"  [measured] bs={batch_size:<3d} {label:18s} "
+                f"{rate:10.1f} examples/sec (simulated clock)",
+                flush=True,
+            )
+
+    print("\nTable 1: examples/second training ResNet-50 on a TPU")
+    header = f"{'':>34} |" + "".join(f"{b:>9}" for b in batch_sizes)
+    print(header)
+    print("-" * len(header))
+    print(
+        f"{'TensorFlow Eager':>34} |"
+        + "".join(f"{rows['eager'][b]:9.1f}" for b in batch_sizes)
+    )
+    print(
+        f"{'TensorFlow Eager with function':>34} |"
+        + "".join(f"{rows['function'][b]:9.1f}" for b in batch_sizes)
+    )
+    speedups = [rows["function"][b] / rows["eager"][b] for b in batch_sizes]
+    print(
+        f"{'staging speedup':>34} |"
+        + "".join(f"{s:8.1f}x" for s in speedups)
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+"""Figure 3: ResNet-50 training on the (simulated) GPU.
+
+Paper claims reproduced here:
+* staging speeds up small batches substantially;
+* the improvement *shrinks* as the batch grows ("these speed-ups vanish
+  as the batch size increases");
+* classic graphs (TF) and staged eager (TFE + function) are comparable.
+
+``python benchmarks/run_fig3.py`` prints the full figure.
+"""
+
+import pytest
+
+from benchmarks.workloads import ResNetTrainer, measure_examples_per_second
+
+BATCH_SIZES = [1, 4, 16]
+
+
+def _trainer(batch_size, mode):
+    return ResNetTrainer(batch_size, mode, device="/gpu:0", image_size=32, width=8)
+
+
+@pytest.mark.parametrize("batch_size", BATCH_SIZES)
+@pytest.mark.parametrize("mode", ["eager", "function", "v1"])
+def test_fig3_throughput(benchmark, batch_size, mode):
+    trainer = _trainer(batch_size, mode)
+    trainer.step()  # trace/build once (excluded, as in the paper)
+    result = benchmark.pedantic(trainer.step, rounds=3, iterations=2)
+    if benchmark.stats is not None:  # absent under --benchmark-disable
+        rate = batch_size / benchmark.stats.stats.mean
+        benchmark.extra_info["examples_per_second"] = round(rate, 1)
+    benchmark.extra_info["series"] = {
+        "eager": "TFE",
+        "function": "TFE + function",
+        "v1": "TF",
+    }[mode]
+
+
+def test_fig3_shape_staging_wins_at_small_batch():
+    eager = _trainer(1, "eager")
+    staged = _trainer(1, "function")
+    r_eager = measure_examples_per_second(eager.step, 1, iterations=3, runs=1)
+    r_staged = measure_examples_per_second(staged.step, 1, iterations=3, runs=1)
+    assert r_staged > 1.5 * r_eager  # paper: ~2x at batch size 1
+
+
+def test_fig3_shape_improvement_decays_with_batch():
+    def improvement(batch_size):
+        eager = _trainer(batch_size, "eager")
+        staged = _trainer(batch_size, "function")
+        r_e = measure_examples_per_second(eager.step, batch_size, iterations=3, runs=1)
+        r_s = measure_examples_per_second(staged.step, batch_size, iterations=3, runs=1)
+        return r_s / r_e
+
+    small, large = improvement(1), improvement(16)
+    assert small > large  # the gap narrows as kernels dominate
+
+
+def test_fig3_shape_tf_comparable_to_staged():
+    staged = _trainer(4, "function")
+    classic = _trainer(4, "v1")
+    r_s = measure_examples_per_second(staged.step, 4, iterations=3, runs=1)
+    r_v1 = measure_examples_per_second(classic.step, 4, iterations=3, runs=1)
+    assert 0.5 < r_v1 / r_s < 2.0  # same executor, same ballpark

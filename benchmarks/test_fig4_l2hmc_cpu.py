@@ -1,0 +1,64 @@
+"""Figure 4: L2HMC training on the CPU.
+
+Paper claims reproduced:
+* staging a model made of many small operations speeds training up "by
+  at least an order of magnitude" (we assert >= 4x as a stable bound on
+  shared CI-grade hardware; the run_fig4.py sweep typically shows 7-10x);
+* classic TF and TFE + function land in the same ballpark;
+* simply decorating a single function recovers graph performance.
+"""
+
+import pytest
+
+from benchmarks.workloads import L2HMCTrainer, measure_examples_per_second
+
+SAMPLE_COUNTS = [10, 100]
+
+
+@pytest.mark.parametrize("num_samples", SAMPLE_COUNTS)
+@pytest.mark.parametrize("mode", ["eager", "function", "v1"])
+def test_fig4_throughput(benchmark, num_samples, mode):
+    trainer = L2HMCTrainer(num_samples, mode)
+    trainer.step()  # trace/build once
+    benchmark.pedantic(trainer.step, rounds=3, iterations=2)
+    if benchmark.stats is not None:  # absent under --benchmark-disable
+        rate = num_samples / benchmark.stats.stats.mean
+        benchmark.extra_info["examples_per_second"] = round(rate, 1)
+    benchmark.extra_info["series"] = {
+        "eager": "TFE",
+        "function": "TFE + function",
+        "v1": "TF",
+    }[mode]
+
+
+@pytest.mark.parametrize("num_samples", SAMPLE_COUNTS)
+def test_fig4_shape_staging_speedup(num_samples):
+    eager = L2HMCTrainer(num_samples, "eager")
+    staged = L2HMCTrainer(num_samples, "function")
+    r_eager = measure_examples_per_second(eager.step, num_samples, iterations=3, runs=1)
+    r_staged = measure_examples_per_second(staged.step, num_samples, iterations=3, runs=1)
+    assert r_staged > 4 * r_eager
+
+
+def test_fig4_shape_tf_matches_staged():
+    staged = L2HMCTrainer(25, "function")
+    classic = L2HMCTrainer(25, "v1")
+    r_s = measure_examples_per_second(staged.step, 25, iterations=3, runs=1)
+    r_v1 = measure_examples_per_second(classic.step, 25, iterations=3, runs=1)
+    assert 0.4 < r_v1 / r_s < 2.5
+
+
+def test_fig4_single_decorator_recovers_performance():
+    """'simply decorating a single function recovers the full
+    performance of TensorFlow' (paper §6)."""
+    import repro
+
+    trainer = L2HMCTrainer(25, "eager")
+    staged_step = repro.function(trainer._train_step)
+
+    def run_staged():
+        _, trainer.x = staged_step(trainer.x)
+
+    r_eager = measure_examples_per_second(trainer.step, 25, iterations=3, runs=1)
+    r_staged = measure_examples_per_second(run_staged, 25, iterations=3, runs=1)
+    assert r_staged > 2 * r_eager

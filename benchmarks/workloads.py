@@ -1,0 +1,229 @@
+"""Benchmark workloads: the models and training steps of paper §6.
+
+Three execution modes per workload, matching the three series in
+Figures 3–4:
+
+* ``eager``    — imperative TensorFlow-Eager-style execution ("TFE"),
+* ``function`` — the same step decorated with ``repro.function``
+  ("TFE + function"),
+* ``v1``       — classic define-before-run graph mode ("TF").
+
+Methodology follows the paper: "Each benchmark run was 10 iterations,
+and an average of 3 runs was reported.  For staged computations, build
+and optimization times were not included as these are one-time costs"
+— see :func:`measure_examples_per_second`.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Optional
+
+import numpy as np
+
+import repro
+from repro import nn
+from repro.compat import v1
+
+MODES = ("eager", "function", "v1")
+
+
+# ---------------------------------------------------------------------------
+# Timing helpers (paper §6 methodology)
+# ---------------------------------------------------------------------------
+
+def measure_examples_per_second(
+    step: Callable[[], object],
+    batch_size: int,
+    iterations: int = 10,
+    runs: int = 3,
+    warmup: int = 1,
+) -> float:
+    """Average examples/sec over ``runs`` runs of ``iterations`` steps.
+
+    The warmup call absorbs tracing/compilation (one-time costs the
+    paper excludes).
+    """
+    for _ in range(warmup):
+        step()
+    rates = []
+    for _ in range(runs):
+        start = time.perf_counter()
+        for _ in range(iterations):
+            step()
+        elapsed = time.perf_counter() - start
+        rates.append(batch_size * iterations / elapsed)
+    return float(np.mean(rates))
+
+
+def measure_simulated_examples_per_second(
+    step: Callable[[], object],
+    batch_size: int,
+    device,
+    iterations: int = 10,
+    warmup: int = 1,
+) -> float:
+    """Examples/sec against a device's *simulated* clock (Table 1)."""
+    for _ in range(warmup):
+        step()
+    device.reset_stats()
+    for _ in range(iterations):
+        step()
+    simulated_seconds = device.simulated_time_us / 1e6
+    return batch_size * iterations / simulated_seconds
+
+
+# ---------------------------------------------------------------------------
+# ResNet-50 training step (Figure 3 / Table 1)
+# ---------------------------------------------------------------------------
+
+class ResNetTrainer:
+    """A ResNet-50(-scaled) training step in any of the three modes.
+
+    The model code is shared; "converting the code to use function is
+    simply a matter of decorating two functions" (§6) — here, one.
+    """
+
+    def __init__(
+        self,
+        batch_size: int,
+        mode: str,
+        device: Optional[str] = None,
+        image_size: int = 32,
+        width: int = 8,
+        num_classes: int = 100,
+        seed: int = 0,
+    ) -> None:
+        assert mode in MODES, mode
+        repro.set_random_seed(seed)
+        self.batch_size = batch_size
+        self.mode = mode
+        self.device_name = device
+        rng = np.random.default_rng(seed)
+        images = rng.normal(
+            0.45, 0.25, size=(batch_size, image_size, image_size, 3)
+        ).astype(np.float32)
+        labels = rng.integers(0, num_classes, size=(batch_size,)).astype(np.int64)
+
+        with self._device_scope():
+            self.model = nn.resnet.resnet50_scaled(
+                num_classes=num_classes, width=width
+            )
+            self.optimizer = nn.SGD(0.01, momentum=0.9)
+            self.images = repro.constant(images)
+            self.labels = repro.constant(labels)
+            self.model(self.images, training=True)  # build variables
+
+        if mode == "v1":
+            self._build_v1()
+        else:
+            step = self._train_step
+            if mode == "function":
+                step = repro.function(step)
+            self._step = lambda: step(self.images, self.labels)
+
+    def _device_scope(self):
+        return repro.device(self.device_name) if self.device_name else repro.device(None)
+
+    def _train_step(self, images, labels):
+        with repro.GradientTape() as tape:
+            logits = self.model(images, training=True)
+            loss = nn.sparse_softmax_cross_entropy(labels, logits)
+        variables = self.model.trainable_variables
+        grads = tape.gradient(loss, variables)
+        self.optimizer.apply_gradients(zip(grads, variables))
+        return loss
+
+    def _build_v1(self) -> None:
+        # The batch is baked in as a constant so that feed overhead stays
+        # out of the measurement (the paper also times preloaded batches).
+        g = v1.GraphBuilder("resnet_v1")
+        with g.building():
+            with self._device_scope():
+                logits = self.model(self.images, training=True)
+                loss = nn.sparse_softmax_cross_entropy(self.labels, logits)
+                variables = self.model.trainable_variables
+                grads = v1.gradients(loss, variables)
+                train_ops = [
+                    var.assign_sub(grad * 0.01)
+                    for grad, var in zip(grads, variables)
+                    if grad is not None
+                ]
+        session = v1.Session(g)
+        fetches = [loss] + train_ops
+        self._step = lambda: session.run(fetches)[0]
+
+    def step(self):
+        with self._device_scope():
+            return self._step()
+
+
+# ---------------------------------------------------------------------------
+# L2HMC training step (Figure 4)
+# ---------------------------------------------------------------------------
+
+class L2HMCTrainer:
+    """The Figure 4 workload: L2HMC on a 2-D target, 10 leapfrog steps."""
+
+    def __init__(
+        self,
+        num_samples: int,
+        mode: str,
+        num_steps: int = 10,
+        seed: int = 0,
+    ) -> None:
+        assert mode in MODES, mode
+        repro.set_random_seed(seed)
+        self.num_samples = num_samples
+        energy = nn.l2hmc.gaussian_mixture_energy([[-2.0, 0.0], [2.0, 0.0]])
+        self.dynamics = nn.l2hmc.L2HMCDynamics(
+            2, energy, num_steps=num_steps, eps=0.1, seed=seed
+        )
+        self.sampler = nn.l2hmc.L2HMCSampler(self.dynamics)
+        self.optimizer = nn.Adam(1e-3)
+        self.x = repro.random_normal([num_samples, 2])
+        self.mode = mode
+
+        if mode == "v1":
+            self._build_v1()
+        else:
+            step = self._train_step
+            if mode == "function":
+                step = repro.function(step)
+            self._fn = step
+
+    def _train_step(self, x):
+        with repro.GradientTape() as tape:
+            loss, x_next = self.sampler.loss_and_samples(x)
+        variables = self.sampler.trainable_variables
+        grads = tape.gradient(loss, variables)
+        self.optimizer.apply_gradients(zip(grads, variables))
+        return loss, x_next
+
+    def _build_v1(self) -> None:
+        g = v1.GraphBuilder("l2hmc_v1")
+        with g.building():
+            loss, x_next = self.sampler.loss_and_samples(self.x)
+            variables = self.sampler.trainable_variables
+            grads = v1.gradients(loss, variables)
+            train_ops = [
+                var.assign_sub(grad * 1e-3)
+                for grad, var in zip(grads, variables)
+                if grad is not None
+            ]
+        session = v1.Session(g)
+        fetches = [loss, x_next] + train_ops
+
+        def step():
+            out = session.run(fetches)
+            return out[0], out[1]
+
+        self._fn = None
+        self._v1_step = step
+
+    def step(self):
+        if self.mode == "v1":
+            loss, self.x = self._v1_step()
+            return loss
+        loss, self.x = self._fn(self.x)
+        return loss

@@ -1,0 +1,102 @@
+#!/usr/bin/env python
+"""Image classification with the paper's multi-stage workflow (§4.1).
+
+1. *Implementation*: develop and debug an imperative training loop.
+2. *Analysis*: the per-step op dispatch dominates at small batches.
+3. *Staging*: decorate the training step with ``repro.function``.
+
+Trains a small ResNet on synthetic data, reports throughput for the
+imperative and staged variants, and round-trips the trained model
+through a checkpoint (§4.3).
+
+Run:  python examples/image_classification.py
+"""
+
+import tempfile
+import time
+
+import numpy as np
+
+import repro
+from repro import nn
+from repro.core.checkpoint import Checkpoint
+
+
+def make_trainer():
+    model = nn.resnet.resnet_tiny(num_classes=10)
+    optimizer = nn.SGD(0.05, momentum=0.9)
+
+    def train_step(images, labels):
+        with repro.GradientTape() as tape:
+            logits = model(images, training=True)
+            loss = nn.sparse_softmax_cross_entropy(labels, logits)
+        variables = model.trainable_variables
+        grads = tape.gradient(loss, variables)
+        optimizer.apply_gradients(zip(grads, variables))
+        return loss
+
+    return model, train_step
+
+
+def evaluate(model, dataset) -> float:
+    correct = total = 0
+    for images, labels in dataset:
+        preds = repro.argmax(model(images, training=False), axis=1)
+        correct += int(repro.reduce_sum(
+            repro.cast(repro.equal(preds, labels), repro.int32)
+        ))
+        total += int(labels.shape[0])
+    return correct / total
+
+
+def main() -> None:
+    repro.set_random_seed(0)
+    train = nn.synthetic_image_classification(256, height=12, width=12, num_classes=10)
+    test = nn.synthetic_image_classification(
+        64, height=12, width=12, num_classes=10, seed=0  # same distribution
+    )
+
+    # -- Step 1: imperative implementation --------------------------------
+    model, train_step = make_trainer()
+    images, labels = next(iter(train.batch(32)))
+    t0 = time.perf_counter()
+    for _ in range(3):
+        train_step(images, labels)
+    eager_ms = (time.perf_counter() - t0) / 3 * 1e3
+    print(f"imperative step: {eager_ms:7.1f} ms")
+
+    # -- Step 3: stage the hot block ---------------------------------------
+    staged_step = repro.function(train_step)
+    staged_step(images, labels)  # trace once
+    t0 = time.perf_counter()
+    for _ in range(3):
+        staged_step(images, labels)
+    staged_ms = (time.perf_counter() - t0) / 3 * 1e3
+    print(f"staged step:     {staged_ms:7.1f} ms   "
+          f"({eager_ms / staged_ms:.1f}x faster, same code, one decorator)")
+
+    # -- Train for a few epochs --------------------------------------------
+    print("\ntraining (staged):")
+    for epoch in range(5):
+        epoch_loss = []
+        for batch_images, batch_labels in train.batch(32).shuffle(epoch):
+            epoch_loss.append(float(staged_step(batch_images, batch_labels)))
+        print(f"  epoch {epoch}: loss {np.mean(epoch_loss):.4f}")
+    accuracy = evaluate(model, test.batch(32))
+    print(f"accuracy on held-out synthetic batch: {accuracy:.2%}")
+
+    # -- Checkpoint round-trip (graph-based state matching, §4.3) -----------
+    prefix = tempfile.mktemp(prefix="repro_image_")
+    path = Checkpoint(model=model).save(prefix)
+    print(f"\nsaved checkpoint to {path}")
+
+    fresh_model, _ = make_trainer()
+    status = Checkpoint(model=fresh_model).restore(path)
+    restored_accuracy = evaluate(fresh_model, test.batch(32))  # builds layers
+    status.assert_consumed()
+    print(f"restored model accuracy: {restored_accuracy:.2%} (matches: "
+          f"{abs(restored_accuracy - accuracy) < 1e-9})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,9 @@
+"""Compatibility layers.
+
+:mod:`repro.compat.v1` reimplements classic define-before-run
+TensorFlow — the "TF" baseline in the paper's evaluation (§6).
+"""
+
+from repro.compat import v1
+
+__all__ = ["v1"]

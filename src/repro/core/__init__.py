@@ -1,0 +1,27 @@
+"""The paper's primary contribution: a multi-stage programming model.
+
+* :mod:`repro.core.tracing` — graph-building contexts (``FuncGraph``)
+  and the ``init_scope`` escape (paper §4.6–4.7).
+* :mod:`repro.core.function` — the polymorphic ``function`` decorator:
+  trace cache, binding-time analysis, input signatures, lexical
+  closure capture, state-creation contract (§4.6).
+* :mod:`repro.core.tape` / :mod:`repro.core.backprop` — tape-based
+  reverse-mode automatic differentiation with staged forward/backward
+  functions (§4.2).
+* :mod:`repro.core.variables` — program state as Python objects (§4.3).
+* :mod:`repro.core.checkpoint` — graph-based state matching (§4.3).
+"""
+
+from repro.core.function import function, ConcreteFunction
+from repro.core.tape import GradientTape
+from repro.core.tracing import init_scope, FuncGraph
+from repro.core.variables import Variable
+
+__all__ = [
+    "function",
+    "ConcreteFunction",
+    "GradientTape",
+    "init_scope",
+    "FuncGraph",
+    "Variable",
+]

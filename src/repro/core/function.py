@@ -1,0 +1,519 @@
+"""The polymorphic ``function`` decorator — the tracing JIT (paper §4.6).
+
+``function(f)`` returns a callable that is "an opt-in, JIT compiler
+that generates an optimized polymorphic function for a Python function,
+creating concrete functions backed by dataflow graphs via a
+straightforward binding-time analysis at run-time" (§4.1).
+
+The moving parts, each mirroring a paragraph of §4.6:
+
+* **Polymorphism** — a trace cache maps inferred input signatures
+  (tensors abstracted to dtype/shape, non-tensor values encoded by
+  value or identity, plus the requested device) to monomorphic
+  :class:`ConcreteFunction` objects.
+* **Input signatures** — an explicit ``input_signature`` pins a single
+  trace with relaxed shapes.
+* **Lexical closure** — tensors and variables the Python function
+  closes over are captured as silent extra inputs; variables by
+  reference (Listing 7).
+* **Composition** — calling a traced function inside another trace
+  stages a single call operation (Listing 8 / Figure 2).
+* **State creation** — variables may only be created on the first
+  trace; when that happens the function is traced a second time, and
+  any later creation raises (the two-trace contract).
+* **Tape integration** — calling a concrete function under a watching
+  tape runs the *forward* variant (outputs + intermediates) and records
+  a custom backward that invokes a staged backward function (§4.2).
+"""
+
+from __future__ import annotations
+
+import functools
+import inspect
+import threading
+from typing import Callable, Optional, Sequence
+
+import numpy as np
+
+from repro.framework import dtypes, nest
+from repro.framework.errors import (
+    FailedPreconditionError,
+    InvalidArgumentError,
+)
+from repro.runtime import records
+from repro.runtime.context import context
+from repro.tensor import Tensor, TensorBase, TensorSpec, convert_to_tensor
+from repro.core import tracing
+from repro.core.variables import Variable, variable_creation_observer
+from repro.graph.function import GraphFunction
+
+__all__ = ["function", "Function", "ConcreteFunction"]
+
+
+class ConcreteFunction:
+    """A single traced instantiation: fixed signature, executable graph."""
+
+    def __init__(
+        self,
+        name: str,
+        graph: "tracing.FuncGraph",
+        flat_outputs: list,
+        output_structure,
+        num_explicit_inputs: int,
+        jit_compile: bool = False,
+    ) -> None:
+        self.name = name
+        self.func_graph = graph
+        self.captured_externals = list(graph.captured_externals)
+        self.graph_function = GraphFunction(
+            name=name,
+            graph=graph,
+            inputs=list(graph.inputs) + list(graph.capture_placeholders),
+            outputs=flat_outputs,
+        )
+        self.output_structure = output_structure
+        self.num_explicit_inputs = num_explicit_inputs
+        self.jit_compile = jit_compile
+        self._compiled = None
+        self._forward_backward = None
+        self._fb_lock = threading.Lock()
+
+    # -- introspection --------------------------------------------------------
+    @property
+    def graph(self):
+        return self.func_graph
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self.func_graph.nodes)
+
+    def definition(self) -> dict:
+        return self.graph_function.definition()
+
+    # -- execution ---------------------------------------------------------
+    def __call__(self, *flat_tensor_args):
+        """Invoke with flat tensor inputs (structure handled by Function)."""
+        full_inputs = list(flat_tensor_args) + self.captured_externals
+        if records.could_record(full_inputs):
+            flat_results = self._call_with_tape(full_inputs)
+        else:
+            flat_results = self._call_plain(full_inputs)
+        return self._pack_outputs(flat_results)
+
+    def _call_plain(self, full_inputs: list) -> list:
+        if self.jit_compile:
+            compiled = self._get_compiled()
+            if compiled is not None:
+                return self._call_compiled(compiled, full_inputs)
+        from repro.ops.functional_ops import call_graph_function
+
+        return list(call_graph_function(self.graph_function, full_inputs))
+
+    def _get_compiled(self):
+        """The XLA-sim executable for this trace (None if uncompilable)."""
+        if self._compiled is None:
+            from repro.framework.errors import UnimplementedError
+            from repro.xla.compiler import compile_function
+
+            try:
+                self._compiled = compile_function(self.graph_function)
+            except UnimplementedError:
+                self._compiled = False  # e.g. py_func inside; fall back
+        return self._compiled or None
+
+    def _call_compiled(self, compiled, full_inputs: list) -> list:
+        import numpy as np
+
+        from repro.framework import dtypes as _dtypes
+
+        explicit = context.current_device_name()
+        device = (
+            context.get_device(explicit) if explicit else context.cpu_device()
+        )
+        arrays = [t._array for t in full_inputs]
+        results = compiled.execute(arrays, device)
+        outputs = []
+        for arr, spec in zip(results, self.graph_function.output_specs):
+            if not isinstance(arr, np.ndarray):
+                arr = np.asarray(arr)
+            if spec.dtype in (_dtypes.resource, _dtypes.variant):
+                outputs.append(Tensor._from_buffer(arr, spec.dtype, device))
+            else:
+                outputs.append(
+                    Tensor._from_buffer(device.wrap_output(arr), spec.dtype, device)
+                )
+        return outputs
+
+    def _call_with_tape(self, full_inputs: list) -> list:
+        """Run the forward variant and record a staged backward (§4.2)."""
+        from repro.framework.errors import UnimplementedError
+        from repro.ops.functional_ops import call_graph_function
+
+        try:
+            fb = self._get_forward_backward()
+        except UnimplementedError as exc:
+            # The function contains an op with no gradient (e.g. a staged
+            # While).  The forward pass still runs; asking for the
+            # gradient surfaces the error.
+            message = str(exc)
+            with records.suspend():
+                results = self._call_plain(full_inputs)
+
+            def failing_backward(*out_grads):
+                raise UnimplementedError(message)
+
+            records.record_operation(
+                "PartitionedCall",
+                {"f": self.graph_function},
+                full_inputs,
+                results,
+                backward_function=failing_backward,
+            )
+            return results
+        with records.suspend():
+            results = list(call_graph_function(fb.forward_fn, full_inputs))
+        user_outputs = results[: fb.num_outputs]
+        intermediates = results[fb.num_outputs :]
+
+        def backward_function(*out_grads):
+            from repro.core import backprop
+            from repro.ops import array_ops
+
+            user_grads = out_grads[: fb.num_outputs]
+            extra_grads = out_grads[fb.num_outputs :]
+            if any(g is not None for g in extra_grads):
+                # Higher-order case: an outer tape differentiated through
+                # the saved intermediates.  Fall back to a backward that
+                # accepts gradients for every forward output.
+                return backprop.graph_function_backward(
+                    fb.forward_fn, full_inputs, results, list(out_grads)
+                )
+            if fb.backward_fn is None:
+                return [None] * len(full_inputs)
+            seeds = []
+            for i in fb.diff_output_indices:
+                g = user_grads[i]
+                if g is None:
+                    g = backprop.zero_seed(user_outputs[i])
+                seeds.append(g)
+            produced = list(
+                call_graph_function(fb.backward_fn, intermediates + seeds)
+            )
+            grads = []
+            it = iter(produced)
+            for has_grad in fb.input_grad_mask:
+                grads.append(next(it) if has_grad else None)
+            return grads
+
+        # The tape sees every forward output — named outputs *and*
+        # intermediates — so gradients that flow into the intermediates
+        # (higher-order differentiation) stay connected (§4.2).
+        records.record_operation(
+            "PartitionedCall",
+            {"f": fb.forward_fn},
+            full_inputs,
+            results,
+            backward_function=backward_function,
+        )
+        return user_outputs
+
+    def _get_forward_backward(self):
+        with self._fb_lock:
+            if isinstance(self._forward_backward, Exception):
+                raise self._forward_backward
+            if self._forward_backward is None:
+                from repro.core import backprop
+                from repro.framework.errors import UnimplementedError
+
+                try:
+                    self._forward_backward = backprop.build_forward_backward(
+                        self.graph_function
+                    )
+                except UnimplementedError as exc:
+                    self._forward_backward = exc
+                    raise
+            return self._forward_backward
+
+    def _pack_outputs(self, flat_results: list):
+        structure = self.output_structure
+        if structure is None:
+            return None
+
+        def restore(leaf):
+            return None if leaf is None else flat_results[leaf]
+
+        if not nest.is_nested(structure):
+            return restore(structure)
+        return nest.map_structure(restore, structure)
+
+    def __repr__(self) -> str:
+        return (
+            f"<ConcreteFunction {self.name!r}: "
+            f"{self.num_explicit_inputs} args + "
+            f"{len(self.captured_externals)} captures, "
+            f"{self.num_nodes} nodes>"
+        )
+
+
+def _leaf_key(leaf):
+    """Cache-key encoding for one argument leaf (binding-time analysis).
+
+    Tensors become abstract types; variables specialize by identity (they
+    are bound into the trace by reference); other Python values by value
+    when hashable, by identity otherwise — "non-tensor values are encoded
+    by object identity" (§4.6).
+    """
+    if isinstance(leaf, TensorBase):
+        return ("tensor", leaf.dtype, leaf.shape)
+    if isinstance(leaf, Variable):
+        return ("variable", id(leaf))
+    if isinstance(leaf, np.ndarray):
+        return ("tensor", dtypes.as_dtype(leaf.dtype), tuple(leaf.shape))
+    try:
+        hash(leaf)
+    except TypeError:
+        return ("id", id(leaf))
+    return ("value", type(leaf).__name__, leaf)
+
+
+def _is_tensor_leaf(leaf) -> bool:
+    return isinstance(leaf, (TensorBase, np.ndarray, Tensor))
+
+
+class Function:
+    """The polymorphic callable returned by the ``function`` decorator."""
+
+    def __init__(
+        self,
+        python_function: Callable,
+        name: Optional[str] = None,
+        input_signature: Optional[Sequence[TensorSpec]] = None,
+        jit_compile: bool = False,
+    ) -> None:
+        self._python_function = python_function
+        self._jit_compile = bool(jit_compile)
+        self._name = name or getattr(python_function, "__name__", "fn")
+        self._input_signature = (
+            None if input_signature is None else list(input_signature)
+        )
+        self._cache: dict = {}
+        self._lock = threading.RLock()
+        self._trace_count = 0
+        self._created_variables: list[Variable] = []
+        self._lifted_initializer_done = False
+        functools.update_wrapper(self, python_function)
+        try:
+            self._signature = inspect.signature(python_function)
+        except (TypeError, ValueError):
+            self._signature = None
+
+    # -- public surface -------------------------------------------------------
+    @property
+    def python_function(self) -> Callable:
+        return self._python_function
+
+    @property
+    def trace_count(self) -> int:
+        """How many times the Python function has been traced (for tests)."""
+        return self._trace_count
+
+    def __get__(self, instance, owner=None):
+        """Support decorating methods: bind like a normal function would."""
+        if instance is None:
+            return self
+        bound = functools.partial(self.__call__, instance)
+        bound.get_concrete_function = functools.partial(
+            self.get_concrete_function, instance
+        )
+        return bound
+
+    def __call__(self, *args, **kwargs):
+        concrete, flat_tensors = self._maybe_trace(args, kwargs)
+        return concrete(*flat_tensors)
+
+    def get_concrete_function(self, *args, **kwargs) -> ConcreteFunction:
+        """The monomorphic function this call signature binds to."""
+        concrete, _ = self._maybe_trace(args, kwargs)
+        return concrete
+
+    # -- binding-time analysis ----------------------------------------------
+    def _canonicalize(self, args, kwargs):
+        if self._signature is not None:
+            try:
+                bound = self._signature.bind(*args, **kwargs)
+            except TypeError:
+                return args, kwargs
+            bound.apply_defaults()
+            return tuple(bound.arguments.values()), {}
+        return args, kwargs
+
+    def _split_leaves(self, args, kwargs):
+        """Separate tensor leaves from static Python leaves."""
+        flat = nest.flatten((list(args), kwargs))
+        tensor_leaves = []
+        for leaf in flat:
+            if _is_tensor_leaf(leaf):
+                tensor_leaves.append(
+                    leaf
+                    if isinstance(leaf, TensorBase)
+                    else convert_to_tensor(leaf)
+                )
+        return flat, tensor_leaves
+
+    def _cache_key(self, flat_leaves) -> tuple:
+        key = [context.current_device_name()]
+        for leaf in flat_leaves:
+            key.append(_leaf_key(leaf))
+        return tuple(key)
+
+    def _maybe_trace(self, args, kwargs):
+        args, kwargs = self._canonicalize(args, kwargs)
+        if self._input_signature is not None:
+            return self._trace_with_signature(args, kwargs)
+        flat_leaves, tensor_leaves = self._split_leaves(args, kwargs)
+        key = self._cache_key(flat_leaves)
+        with self._lock:
+            concrete = self._cache.get(key)
+            if concrete is None:
+                concrete = self._trace(args, kwargs, tensor_leaves)
+                self._cache[key] = concrete
+        return concrete, tensor_leaves
+
+    def _trace_with_signature(self, args, kwargs):
+        if kwargs:
+            raise InvalidArgumentError(
+                "Functions with an input_signature take positional tensor "
+                "arguments only"
+            )
+        flat_args = nest.flatten(list(args))
+        specs = self._input_signature
+        if len(flat_args) != len(specs):
+            raise InvalidArgumentError(
+                f"Function {self._name!r} expects {len(specs)} tensor "
+                f"arguments (from its input_signature), got {len(flat_args)}"
+            )
+        tensors = []
+        for value, spec in zip(flat_args, specs):
+            t = convert_to_tensor(value, dtype=spec.dtype)
+            if not spec.is_compatible_with(t):
+                raise InvalidArgumentError(
+                    f"Argument {t.shape}/{t.dtype} is incompatible with the "
+                    f"input signature entry {spec}"
+                )
+            tensors.append(t)
+        key = ("signature", context.current_device_name())
+        with self._lock:
+            concrete = self._cache.get(key)
+            if concrete is None:
+                concrete = self._trace(
+                    tuple(tensors), {}, tensors, override_specs=list(specs)
+                )
+                self._cache[key] = concrete
+        return concrete, tensors
+
+    # -- tracing -----------------------------------------------------------
+    def _trace(
+        self,
+        args,
+        kwargs,
+        tensor_leaves,
+        override_specs: Optional[list[TensorSpec]] = None,
+    ) -> ConcreteFunction:
+        specs = override_specs or [TensorSpec.from_tensor(t) for t in tensor_leaves]
+        created: list[Variable] = []
+        with variable_creation_observer(created.append):
+            concrete = self._trace_once(args, kwargs, specs)
+        if created:
+            if self._trace_count > 1 or self._cache:
+                raise FailedPreconditionError(
+                    f"Function {self._name!r} created new variables on a "
+                    "non-initial trace. State must only be created the first "
+                    "time the function is called (paper §4.6)."
+                )
+            self._created_variables.extend(created)
+            # The two-trace contract: re-trace to record post-creation
+            # behaviour, and verify no further state is created.
+            recheck: list[Variable] = []
+            with variable_creation_observer(recheck.append):
+                concrete = self._trace_once(args, kwargs, specs)
+            if recheck:
+                raise FailedPreconditionError(
+                    f"Function {self._name!r} created variables on its second "
+                    "trace; functions must create state only on their first "
+                    "call (paper §4.6)."
+                )
+        return concrete
+
+    def _trace_once(self, args, kwargs, specs) -> ConcreteFunction:
+        self._trace_count += 1
+        marked_args, marked_kwargs = self._mark_tensors(args, kwargs)
+        name = f"{self._name}_{context.unique_id()}"
+        graph, flat_outputs, structure = tracing.trace_into_graph(
+            self._python_function,
+            specs,
+            name=name,
+            structured_args=(marked_args, marked_kwargs),
+        )
+        concrete = ConcreteFunction(
+            name=name,
+            graph=graph,
+            flat_outputs=flat_outputs,
+            output_structure=structure,
+            num_explicit_inputs=len(specs),
+            jit_compile=self._jit_compile,
+        )
+        concrete.graph_function.optimize()
+        return concrete
+
+    @staticmethod
+    def _mark_tensors(args, kwargs):
+        def mark(leaf):
+            return tracing.TENSOR_MARKER if _is_tensor_leaf(leaf) else leaf
+
+        marked_args = nest.map_structure(mark, list(args))
+        marked_kwargs = nest.map_structure(mark, kwargs)
+        return tuple(marked_args), marked_kwargs
+
+    def __repr__(self) -> str:
+        return f"<repro.function {self._name!r} with {len(self._cache)} traces>"
+
+
+def function(
+    func: Optional[Callable] = None,
+    *,
+    input_signature: Optional[Sequence[TensorSpec]] = None,
+    name: Optional[str] = None,
+    jit_compile: bool = False,
+):
+    """Decorator staging a Python function as graph functions (§4.1, §4.6).
+
+    Usage::
+
+        @repro.function
+        def step(x):
+            return repro.matmul(x, x)
+
+    or with an explicit signature to pin a single, shape-polymorphic
+    trace::
+
+        @repro.function(input_signature=[repro.TensorSpec([None, 8])])
+        def step(batch): ...
+
+    ``jit_compile=True`` additionally lowers each trace through the
+    XLA-sim compiler (paper §4.4: "the function decorator supports code
+    generation via XLA"): elementwise chains fuse into single dispatches
+    and, on the simulated TPU, the whole step becomes one program.
+    Functions containing ``py_func`` silently fall back to the graph
+    executor.
+    """
+    if func is not None:
+        return Function(
+            func, name=name, input_signature=input_signature, jit_compile=jit_compile
+        )
+
+    def decorator(f: Callable) -> Function:
+        return Function(
+            f, name=name, input_signature=input_signature, jit_compile=jit_compile
+        )
+
+    return decorator

@@ -1,0 +1,36 @@
+"""Distributed execution (paper §4.5).
+
+"The current system supports distributed execution with a single
+central server running the main (typically Python) program and several
+worker servers running on remote hosts.  Each worker server adds its
+locally available devices ... to the pool of devices available to the
+main program."
+
+Workers here are in-process servers: each owns a set of devices named
+``/job:<job>/task:<n>/device:<TYPE>:<i>`` and a request loop on its own
+thread.  The *control plane* is message passing (every remote operation
+is a request/response over the worker's queue); the *data plane* is
+shared memory (tensors produced remotely stay resident on the remote
+device until explicitly copied to the coordinator), a substitution
+documented in DESIGN.md.  The user-facing semantics match the paper:
+remote devices appear in ``list_devices``-style resolution, ops placed
+with the same ``device`` context manager as local ones, results staying
+remote until fetched, and whole graph functions executable remotely.
+"""
+
+from repro.distribute.cluster import ClusterSpec
+from repro.distribute.strategy import DataParallelStrategy, PerReplica
+from repro.distribute.worker import (
+    WorkerServer,
+    connect_to_cluster,
+    shutdown_cluster,
+)
+
+__all__ = [
+    "ClusterSpec",
+    "DataParallelStrategy",
+    "PerReplica",
+    "WorkerServer",
+    "connect_to_cluster",
+    "shutdown_cluster",
+]

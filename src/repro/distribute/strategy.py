@@ -1,0 +1,198 @@
+"""Data-parallel training helpers.
+
+The paper's conclusion names "an out-of-the-box solution for
+imperatively-driven distributed training" as ongoing work; this module
+implements the natural first cut on top of the §4.5 primitives: a
+mirrored data-parallel strategy where each replica device runs the same
+step on its shard concurrently (one Python thread per worker — §4.5:
+"developers need to start these computations concurrently, e.g. using
+Python threads") and gradients are reduced on the coordinator.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable, Optional, Sequence
+
+import numpy as np
+
+from repro.framework import nest
+from repro.framework.errors import InvalidArgumentError
+from repro.runtime.context import context, device as device_scope
+from repro.ops import array_ops, math_ops
+from repro.tensor import Tensor, TensorBase, convert_to_tensor
+
+__all__ = ["DataParallelStrategy", "PerReplica"]
+
+
+class PerReplica:
+    """A tuple of per-replica values, one per strategy device."""
+
+    __slots__ = ("values",)
+
+    def __init__(self, values: Sequence) -> None:
+        self.values = tuple(values)
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    def __getitem__(self, index):
+        return self.values[index]
+
+    def __iter__(self):
+        return iter(self.values)
+
+    def __repr__(self) -> str:
+        return f"PerReplica({list(self.values)!r})"
+
+
+class DataParallelStrategy:
+    """Run a step function on shards across devices; reduce the results.
+
+    Usage::
+
+        strategy = DataParallelStrategy([
+            "/job:training/task:0/device:CPU:0",
+            "/job:training/task:1/device:CPU:0",
+        ])
+        per_replica = strategy.split_batch((images, labels))
+        losses = strategy.run(step_fn, per_replica)
+        loss = strategy.reduce_mean(losses)
+    """
+
+    def __init__(self, devices: Sequence[str]) -> None:
+        if not devices:
+            raise InvalidArgumentError("A strategy needs at least one device")
+        # Validate now so typos fail at construction.
+        for name in devices:
+            context.get_device(name)
+        self.devices = list(devices)
+
+    @property
+    def num_replicas(self) -> int:
+        return len(self.devices)
+
+    # -- input distribution --------------------------------------------------
+    def split_batch(self, batch) -> PerReplica:
+        """Shard every tensor leaf of ``batch`` along axis 0."""
+        flat = nest.flatten(batch)
+        n = self.num_replicas
+        shards_per_leaf = []
+        for leaf in flat:
+            leaf = convert_to_tensor(leaf)
+            size = leaf.shape[0]
+            if size is None or size % n != 0:
+                raise InvalidArgumentError(
+                    f"Batch dimension {size} is not divisible by "
+                    f"{n} replicas"
+                )
+            shards_per_leaf.append(array_ops.split(leaf, n, axis=0))
+        replicas = []
+        for r in range(n):
+            replicas.append(
+                nest.pack_sequence_as(batch, [s[r] for s in shards_per_leaf])
+            )
+        return PerReplica(replicas)
+
+    # -- execution ---------------------------------------------------------
+    def run(self, fn: Callable, per_replica_args: Optional[PerReplica] = None) -> PerReplica:
+        """Invoke ``fn`` once per replica, concurrently, on its device.
+
+        ``fn`` receives the replica's argument structure (or nothing).
+        Returns the per-replica results; exceptions from any replica
+        propagate.
+        """
+        results: list = [None] * self.num_replicas
+        errors: list = [None] * self.num_replicas
+
+        def worker(index: int) -> None:
+            try:
+                with device_scope(self.devices[index]):
+                    if per_replica_args is None:
+                        results[index] = fn()
+                    else:
+                        args = per_replica_args[index]
+                        if isinstance(args, tuple):
+                            results[index] = fn(*args)
+                        else:
+                            results[index] = fn(args)
+            except BaseException as exc:  # noqa: BLE001 - re-raised below
+                errors[index] = exc
+
+        if self.num_replicas == 1:
+            worker(0)
+        else:
+            threads = [
+                threading.Thread(target=worker, args=(i,), daemon=True)
+                for i in range(self.num_replicas)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+        for exc in errors:
+            if exc is not None:
+                raise exc
+        return PerReplica(results)
+
+    # -- reductions --------------------------------------------------------------
+    def _fetch_all(self, values: PerReplica) -> list:
+        out = []
+        for v in values:
+            if isinstance(v, Tensor) and "localhost" not in v.device:
+                v = v.cpu()
+            out.append(v)
+        return out
+
+    def reduce_sum(self, values: PerReplica):
+        """Sum per-replica structures onto the coordinator."""
+        fetched = self._fetch_all(values)
+        flats = [nest.flatten(v) for v in fetched]
+        summed = [
+            math_ops.add_n([self._to_local(f[i]) for f in flats])
+            for i in range(len(flats[0]))
+        ]
+        return nest.pack_sequence_as(fetched[0], summed)
+
+    def reduce_mean(self, values: PerReplica):
+        """Average per-replica structures onto the coordinator."""
+        total = self.reduce_sum(values)
+        n = float(self.num_replicas)
+        return nest.map_structure(lambda t: t / n, total) if nest.is_nested(total) else total / n
+
+    @staticmethod
+    def _to_local(t):
+        if isinstance(t, Tensor) and "localhost" not in t.device:
+            return t.cpu()
+        return t
+
+    # -- convenience: a full data-parallel gradient step -----------------------------
+    def gradient_step(self, loss_fn: Callable, batch, variables, optimizer) -> object:
+        """Shard ``batch``, compute per-replica gradients of ``loss_fn``,
+        average them, and apply once on the coordinator.
+
+        Returns the mean loss.  ``loss_fn(shard) -> loss`` must use only
+        ``variables`` as trainable state.
+        """
+        from repro.core.tape import GradientTape
+
+        shards = self.split_batch(batch)
+
+        def replica_step(*args):
+            with GradientTape() as tape:
+                loss = loss_fn(*args) if args else loss_fn()
+            grads = tape.gradient(loss, list(variables))
+            return loss, grads
+
+        outcomes = self.run(replica_step, shards)
+        losses = PerReplica([loss for loss, _ in outcomes])
+        grad_lists = [grads for _, grads in outcomes]
+        averaged = []
+        for i in range(len(variables)):
+            parts = [self._to_local(g[i]) for g in grad_lists if g[i] is not None]
+            if not parts:
+                averaged.append(None)
+                continue
+            averaged.append(math_ops.add_n(parts) / float(len(parts)))
+        optimizer.apply_gradients(zip(averaged, variables))
+        return self.reduce_mean(losses)

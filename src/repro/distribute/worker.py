@@ -1,0 +1,221 @@
+"""Worker servers and remote devices.
+
+A :class:`WorkerServer` owns the devices of one cluster task and
+processes operation requests on a dedicated thread.  Placing an op on a
+remote device name routes it through :meth:`RemoteDevice.execute_op`:
+the request (op name, inputs, attrs) crosses the worker's queue, the
+worker dispatches the kernel on its own thread, and the outputs come
+back as tensors *resident on the remote device* — "tensors produced as
+the result of running an operation on a remote device stay on the
+remote device.  Users can then either perform more operations on these
+tensors or copy them to the central server" (paper §4.5).
+
+Whole graph functions execute remotely the same way, because a graph
+function call is just the ``PartitionedCall`` operation.  Concurrent
+computations on different workers proceed in parallel (each worker has
+its own request loop), matching §4.5's note that developers start
+communicating computations concurrently, e.g. with Python threads.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from concurrent.futures import Future
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.framework import dtypes
+from repro.framework.errors import FailedPreconditionError, NotFoundError
+from repro.ops import registry
+from repro.runtime.context import context
+from repro.runtime.device import Device, DeviceSpec
+from repro.tensor import Tensor
+
+__all__ = ["WorkerServer", "RemoteDevice", "connect_to_cluster", "shutdown_cluster"]
+
+
+class RemoteDevice(Device):
+    """A device owned by a worker; operations are shipped to its server."""
+
+    def __init__(self, spec: DeviceSpec, server: "WorkerServer") -> None:
+        super().__init__(spec)
+        self._server = server
+
+    @property
+    def server(self) -> "WorkerServer":
+        return self._server
+
+    def execute_op(self, op_name: str, inputs: Sequence[Tensor], attrs: dict):
+        """Ship the op to the owning worker and wait for its outputs.
+
+        Ops issued *from* the worker's own thread (the body of a remote
+        graph-function call) dispatch directly — re-enqueueing would
+        deadlock the single-threaded request loop.
+        """
+        if threading.current_thread() is self._server._thread:
+            return self._server._dispatch(self, op_name, list(inputs), attrs)
+        return self._server.run_op(self, op_name, list(inputs), attrs)
+
+
+class WorkerServer:
+    """One cluster task: a device set plus a request-processing thread."""
+
+    def __init__(
+        self,
+        job: str,
+        task: int,
+        num_gpus: int = 0,
+        address: Optional[str] = None,
+    ) -> None:
+        self.job = job
+        self.task = task
+        self.address = address or f"local://{job}/{task}"
+        self.devices: dict[str, RemoteDevice] = {}
+        self._add_device("CPU", 0)
+        for i in range(num_gpus):
+            self._add_device("GPU", i)
+        self._requests: queue.Queue = queue.Queue()
+        self._ops_served = 0
+        self._thread = threading.Thread(
+            target=self._serve, name=f"worker-{job}-{task}", daemon=True
+        )
+        self._running = True
+        self._thread.start()
+
+    def _add_device(self, device_type: str, index: int) -> None:
+        spec = DeviceSpec(
+            job=self.job,
+            replica=0,
+            task=self.task,
+            device_type=device_type,
+            device_index=index,
+        )
+        self.devices[spec.to_string()] = RemoteDevice(spec, self)
+
+    # -- request loop -------------------------------------------------------
+    def _serve(self) -> None:
+        while True:
+            item = self._requests.get()
+            if item is None:
+                return
+            fn, future = item
+            try:
+                future.set_result(fn())
+            except BaseException as exc:  # noqa: BLE001 - crosses threads
+                future.set_exception(exc)
+
+    def run_op(
+        self, device: RemoteDevice, op_name: str, inputs: list[Tensor], attrs: dict
+    ) -> list[Tensor]:
+        """Enqueue one operation; blocks until the worker replies."""
+        if not self._running:
+            raise FailedPreconditionError(
+                f"Worker {self.address!r} has been shut down"
+            )
+        future: Future = Future()
+        self._requests.put((lambda: self._dispatch(device, op_name, inputs, attrs), future))
+        return future.result()
+
+    def _dispatch(
+        self, device: RemoteDevice, op_name: str, inputs: list[Tensor], attrs: dict
+    ) -> list[Tensor]:
+        self._ops_served += 1
+        if registry.has_kernel(op_name, device.device_type):
+            kernel = registry.get_kernel(op_name, device.device_type)
+        elif registry.has_kernel(op_name, "CPU"):
+            kernel = registry.get_kernel(op_name, "CPU")
+        else:
+            raise NotFoundError(
+                f"Worker {self.address!r} has no kernel for {op_name!r}"
+            )
+        arrays = []
+        for t in inputs:
+            if t.device_object is not device and t.dtype not in (
+                dtypes.resource,
+                dtypes.variant,
+            ):
+                # Input transfer onto the worker's device.
+                buf = device.allocate(np.asarray(t.numpy()))
+                t = Tensor._from_buffer(buf, t.dtype, device)
+            arrays.append(t._array)
+        device.count_kernel_launch()
+        results = kernel(arrays, attrs, device)
+        if results is None:
+            results = []
+        elif isinstance(results, (Tensor, np.ndarray)) or np.isscalar(results):
+            results = [results]
+        outputs = []
+        for r in results:
+            if isinstance(r, Tensor):
+                outputs.append(r)
+            else:
+                arr = r if isinstance(r, np.ndarray) else np.asarray(r)
+                buf = device.wrap_output(arr)
+                outputs.append(
+                    Tensor._from_buffer(buf, dtypes.as_dtype(arr.dtype), device)
+                )
+        return outputs
+
+    @property
+    def ops_served(self) -> int:
+        return self._ops_served
+
+    def shutdown(self) -> None:
+        if self._running:
+            self._running = False
+            self._requests.put(None)
+            self._thread.join(timeout=5)
+
+    def __repr__(self) -> str:
+        return f"<WorkerServer /job:{self.job}/task:{self.task} ({len(self.devices)} devices)>"
+
+
+_active_workers: list[WorkerServer] = []
+_worker_lock = threading.Lock()
+
+
+def connect_to_cluster(cluster_spec, gpus_per_worker: int = 0) -> list[WorkerServer]:
+    """Bring up a worker server per task and expose their devices.
+
+    After this call, remote device names like
+    ``/job:training/task:2/device:GPU:0`` resolve through the runtime's
+    device lookup, so ``with repro.device(name):`` places operations on
+    the worker (paper §4.5: "the user uses the same syntax as for local
+    devices").
+    """
+    workers: list[WorkerServer] = []
+    for job in cluster_spec.jobs:
+        for task in range(cluster_spec.num_tasks(job)):
+            workers.append(
+                WorkerServer(
+                    job,
+                    task,
+                    num_gpus=gpus_per_worker,
+                    address=cluster_spec.task_address(job, task),
+                )
+            )
+    with _worker_lock:
+        _active_workers.extend(workers)
+    context.set_remote_device_resolver(_resolve_remote_device)
+    return workers
+
+
+def _resolve_remote_device(full_name: str) -> Optional[Device]:
+    with _worker_lock:
+        for worker in _active_workers:
+            device = worker.devices.get(full_name)
+            if device is not None:
+                return device
+    return None
+
+
+def shutdown_cluster() -> None:
+    """Stop all workers and remove their devices from the runtime."""
+    with _worker_lock:
+        workers = list(_active_workers)
+        _active_workers.clear()
+    for worker in workers:
+        worker.shutdown()
+    context.set_remote_device_resolver(None)

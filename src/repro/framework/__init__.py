@@ -1,0 +1,17 @@
+"""Framework-level building blocks shared by every subsystem.
+
+This subpackage holds the pieces that the paper's terminology section
+(§4) takes for granted: typed multi-dimensional arrays need a dtype
+system (:mod:`repro.framework.dtypes`), a shape algebra that tolerates
+unknown dimensions (:mod:`repro.framework.tensor_shape`), structured
+input/output handling for the tracing machinery
+(:mod:`repro.framework.nest`), and a small exception hierarchy
+(:mod:`repro.framework.errors`).
+"""
+
+from repro.framework import dtypes
+from repro.framework import errors
+from repro.framework import nest
+from repro.framework.tensor_shape import TensorShape
+
+__all__ = ["dtypes", "errors", "nest", "TensorShape"]

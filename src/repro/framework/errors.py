@@ -1,0 +1,52 @@
+"""Exception hierarchy.
+
+A small, flat hierarchy modelled on TensorFlow's ``tf.errors``: every
+runtime failure raised by the library derives from :class:`ReproError`
+so callers can catch library errors without catching unrelated Python
+failures.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "InvalidArgumentError",
+    "NotFoundError",
+    "AlreadyExistsError",
+    "FailedPreconditionError",
+    "OutOfRangeError",
+    "UnimplementedError",
+    "InternalError",
+]
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the repro runtime."""
+
+
+class InvalidArgumentError(ReproError, ValueError):
+    """An operation received an argument with an invalid value or shape."""
+
+
+class NotFoundError(ReproError, KeyError):
+    """A requested entity (op, kernel, device, node) does not exist."""
+
+
+class AlreadyExistsError(ReproError, ValueError):
+    """An entity that must be unique was registered twice."""
+
+
+class FailedPreconditionError(ReproError, RuntimeError):
+    """The system is not in the state required for the operation."""
+
+
+class OutOfRangeError(ReproError, IndexError):
+    """An iterator was exhausted or an index fell outside valid bounds."""
+
+
+class UnimplementedError(ReproError, NotImplementedError):
+    """The requested behaviour is not implemented (e.g. missing gradient)."""
+
+
+class InternalError(ReproError, RuntimeError):
+    """An invariant inside the runtime was violated; indicates a bug."""

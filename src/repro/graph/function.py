@@ -1,0 +1,121 @@
+"""Graph functions: graphs with named inputs and outputs.
+
+"TensorFlow Eager represents each staged computation as a graph
+function, i.e., a graph with named inputs and outputs, representing the
+exact computation of interest" (paper §5).  A :class:`GraphFunction`
+bundles a graph, its placeholder inputs (in calling order, including
+lexically-captured values appended at the end), and its output tensors.
+It is the unit of execution (via the ``PartitionedCall`` op), of
+optimization (the grappler-style passes run per function), and of
+compilation (XLA compiles one function into one accelerator program).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.framework.errors import InvalidArgumentError
+from repro.framework.tensor_shape import TensorShape
+from repro.ops.registry import register_gradient, register_op
+from repro.tensor import Tensor, TensorSpec
+from repro.graph.graph import Graph, Node, SymbolicTensor
+
+__all__ = ["GraphFunction", "placeholder"]
+
+
+def _placeholder_infer(inputs, attrs):
+    return [TensorSpec(TensorShape(attrs["shape"]), attrs["dtype"])]
+
+
+register_op("Placeholder", infer_fn=_placeholder_infer)
+register_gradient("Placeholder")(lambda op, grad: [])
+
+
+def placeholder(graph: Graph, dtype, shape=None, name: str = "Placeholder") -> SymbolicTensor:
+    """Add a graph input node and return its symbolic output."""
+    from repro.framework import dtypes as _dtypes
+
+    with graph.as_default():
+        from repro.runtime.executor import execute
+
+        out = execute(
+            "Placeholder",
+            [],
+            {"dtype": _dtypes.as_dtype(dtype), "shape": TensorShape(shape)},
+            name=name,
+        )
+    return out
+
+
+class GraphFunction:
+    """An executable dataflow graph with a fixed, typed signature.
+
+    Unlike Python functions, graph functions are monomorphic: "they
+    have a fixed number of inputs, which are statically typed" (paper
+    §4.6).  The polymorphic ``function`` decorator maintains a cache of
+    these.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        graph: Graph,
+        inputs: Sequence[SymbolicTensor],
+        outputs: Sequence[SymbolicTensor],
+    ) -> None:
+        self.name = name
+        self.graph = graph
+        self.inputs = list(inputs)
+        self.outputs = list(outputs)
+        self.input_specs = [TensorSpec(t.shape, t.dtype) for t in self.inputs]
+        self.output_specs = [TensorSpec(t.shape, t.dtype) for t in self.outputs]
+        self._runner = None
+
+    @property
+    def contains_py_func(self) -> bool:
+        return self.graph.contains_py_func
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self.graph.nodes)
+
+    def run(self, args: Sequence[Tensor], parallel: bool = False) -> list[Tensor]:
+        """Execute the graph on concrete inputs; returns concrete outputs.
+
+        The execution plan (schedule, refcounts) is built once and
+        cached; repeated calls dispatch kernels with no graph analysis.
+        """
+        from repro.graph.executor import GraphRunner
+
+        if len(args) != len(self.inputs):
+            raise InvalidArgumentError(
+                f"Graph function {self.name!r} takes {len(self.inputs)} inputs, "
+                f"got {len(args)}"
+            )
+        runner = self._runner
+        if runner is None:
+            runner = self._runner = GraphRunner(self.graph, self.outputs)
+        return runner.run(list(zip(self.inputs, args)), parallel=parallel)
+
+    def optimize(self, passes: Optional[Sequence[str]] = None) -> dict:
+        """Run grappler-style optimization passes in place.
+
+        Returns a per-pass report (nodes removed/rewritten), used by the
+        ablation benchmarks.
+        """
+        from repro.graph.optimize import optimize_function
+
+        self._runner = None  # plan must be rebuilt after rewriting
+        return optimize_function(self, passes)
+
+    def definition(self) -> dict:
+        """GraphDef-like serializable structure (see serialization module)."""
+        from repro.graph.serialization import function_to_def
+
+        return function_to_def(self)
+
+    def __repr__(self) -> str:
+        return (
+            f"<GraphFunction {self.name!r}: {len(self.inputs)} inputs -> "
+            f"{len(self.outputs)} outputs, {len(self.graph.nodes)} nodes>"
+        )

@@ -1,0 +1,334 @@
+"""Grappler-style graph optimization passes.
+
+The paper attributes part of staged execution's advantage to "compiler
+optimizations and the exploitation of parallelism ... constant-folding
+and buffer reuse" (§1, §4.1).  This module implements the classic
+passes over our graph IR:
+
+* ``prune`` — drop non-stateful ops unreachable from the outputs (§5).
+* ``fold`` — evaluate ops whose inputs are all constants at build time.
+* ``arithmetic`` — algebraic identities (x*1, x+0, double negation,
+  transpose/reshape collapsing).
+* ``cse`` — common-subexpression elimination for stateless ops.
+
+Passes rewrite the function's graph in place and report how much work
+they did; the ablation benchmark ``abl-opt`` measures their run-time
+effect.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.framework import dtypes
+from repro.ops import registry
+from repro.tensor import Tensor
+from repro.graph.graph import Graph, Node, SymbolicTensor
+
+__all__ = ["optimize_function", "DEFAULT_PASSES"]
+
+DEFAULT_PASSES = ("prune", "fold", "arithmetic", "dedup_reads", "cse", "prune")
+
+# Never materialize folded constants bigger than this.
+_MAX_FOLD_ELEMENTS = 1 << 20
+
+_NEVER_FOLD = frozenset({"Const", "Placeholder"})
+
+
+def _attr_key(attrs: dict):
+    items = []
+    for k in sorted(attrs):
+        v = attrs[k]
+        if isinstance(v, np.ndarray):
+            items.append((k, ("ndarray", v.shape, str(v.dtype), v.tobytes())))
+        elif callable(v) or hasattr(v, "graph"):
+            items.append((k, ("object", id(v))))
+        else:
+            items.append((k, repr(v)))
+    return tuple(items)
+
+
+def _replace_uses(fn, replacements: dict) -> None:
+    fn.graph.apply_replacements(replacements)
+    fn.outputs = [replacements.get(id(t), t) for t in fn.outputs]
+    fn._runner = None
+
+
+def prune(fn) -> int:
+    """Remove ops not reachable from the function outputs."""
+    roots = list(fn.outputs) + list(fn.inputs)
+    return fn.graph.remove_dead(roots)
+
+
+def constant_fold(fn) -> int:
+    """Evaluate statically-known subgraphs into Const nodes."""
+    from repro.runtime.context import context
+
+    graph: Graph = fn.graph
+    folded = 0
+    const_values: dict[int, np.ndarray] = {}
+    for node in list(graph.nodes):
+        if node.op_name == "Const":
+            const_values[id(node.outputs[0])] = node.attrs["value"]
+            continue
+        op_def = node.op_def
+        if (
+            node.op_name in _NEVER_FOLD
+            or op_def.is_stateful
+            or op_def.has_side_effects
+            or not registry.has_kernel(node.op_name, "CPU")
+        ):
+            continue
+        if any(
+            t.dtype in (dtypes.resource, dtypes.variant) for t in node.outputs
+        ):
+            continue
+        arrays = []
+        ok = True
+        for t in node.inputs:
+            value = const_values.get(id(t))
+            if value is None:
+                value = t.constant_value
+            if value is None:
+                ok = False
+                break
+            arrays.append(np.asarray(value))
+        if not ok:
+            continue
+        kernel = registry.get_kernel(node.op_name, "CPU")
+        try:
+            results = kernel(arrays, node.attrs, context.cpu_device())
+        except Exception:
+            continue
+        if results is None:
+            continue
+        if isinstance(results, (np.ndarray, Tensor)) or np.isscalar(results):
+            results = [results]
+        if any(isinstance(r, Tensor) for r in results):
+            continue
+        results = [np.asarray(r) for r in results]
+        if any(r.size > _MAX_FOLD_ELEMENTS for r in results):
+            continue
+        replacements = {}
+        with graph.as_default():
+            from repro.runtime.executor import execute
+
+            for out_sym, value in zip(node.outputs, results):
+                const_out = execute("Const", [], {"value": value})
+                replacements[id(out_sym)] = const_out
+                const_values[id(const_out)] = value
+        _replace_uses(fn, replacements)
+        folded += 1
+    if folded:
+        # New Const nodes were appended; restore topological node order.
+        _topological_sort(fn)
+    return folded
+
+
+def _is_scalar_const(t: SymbolicTensor, value: float) -> bool:
+    cv = t.constant_value
+    if cv is None and t.node.op_name == "Const":
+        cv = t.node.attrs["value"]
+    if cv is None:
+        return False
+    cv = np.asarray(cv)
+    return cv.size == 1 and float(cv.reshape(())[()]) == value
+
+
+def arithmetic_simplify(fn) -> int:
+    """Apply algebraic identities that remove whole nodes."""
+    graph: Graph = fn.graph
+    rewrites = 0
+    replacements: dict = {}
+
+    def resolve(t):
+        while id(t) in replacements:
+            t = replacements[id(t)]
+        return t
+
+    for node in graph.nodes:
+        node.inputs = [resolve(t) for t in node.inputs]
+        out = node.outputs[0] if node.outputs else None
+        new = None
+        if node.op_name == "Add":
+            x, y = node.inputs
+            if _is_scalar_const(y, 0.0) and x.shape == out.shape and x.dtype == out.dtype:
+                new = x
+            elif _is_scalar_const(x, 0.0) and y.shape == out.shape and y.dtype == out.dtype:
+                new = y
+        elif node.op_name == "Sub":
+            x, y = node.inputs
+            if _is_scalar_const(y, 0.0) and x.shape == out.shape:
+                new = x
+        elif node.op_name == "Mul":
+            x, y = node.inputs
+            if _is_scalar_const(y, 1.0) and x.shape == out.shape and x.dtype == out.dtype:
+                new = x
+            elif _is_scalar_const(x, 1.0) and y.shape == out.shape and y.dtype == out.dtype:
+                new = y
+        elif node.op_name == "RealDiv":
+            x, y = node.inputs
+            if _is_scalar_const(y, 1.0) and x.shape == out.shape:
+                new = x
+        elif node.op_name == "Neg":
+            (x,) = node.inputs
+            if x.node.op_name == "Neg":
+                new = x.node.inputs[0]
+        elif node.op_name == "Transpose":
+            (x,) = node.inputs
+            inner = x.node
+            if inner.op_name == "Transpose":
+                p_outer = node.attrs.get("perm")
+                p_inner = inner.attrs.get("perm")
+                if p_outer is not None and p_inner is not None:
+                    composed = [p_inner[p] for p in p_outer]
+                    if composed == list(range(len(composed))):
+                        new = inner.inputs[0]
+                elif p_outer is None and p_inner is None:
+                    new = inner.inputs[0]
+        elif node.op_name == "Reshape":
+            x = node.inputs[0]
+            if x.node.op_name == "Reshape":
+                node.inputs[0] = x.node.inputs[0]
+                rewrites += 1
+            if node.inputs[0].shape.is_fully_defined and node.inputs[0].shape == out.shape:
+                new = node.inputs[0]
+        elif node.op_name == "Identity":
+            new = node.inputs[0] if node.device is None else None
+        if new is not None:
+            replacements[id(out)] = new
+            rewrites += 1
+    _replace_uses(fn, {k: _final(replacements, k) for k in replacements})
+    return rewrites
+
+
+def _final(replacements: dict, key):
+    t = replacements[key]
+    while id(t) in replacements:
+        t = replacements[id(t)]
+    return t
+
+
+def cse(fn) -> int:
+    """Merge identical stateless operations."""
+    graph: Graph = fn.graph
+    seen: dict = {}
+    replacements: dict = {}
+    merged = 0
+
+    def resolve(t):
+        while id(t) in replacements:
+            t = replacements[id(t)]
+        return t
+
+    for node in graph.nodes:
+        node.inputs = [resolve(t) for t in node.inputs]
+        op_def = node.op_def
+        if op_def.is_stateful or op_def.has_side_effects or node.op_name == "Placeholder":
+            continue
+        sig = (
+            node.op_name,
+            tuple(id(t) for t in node.inputs),
+            _attr_key(node.attrs),
+            node.device,
+        )
+        existing = seen.get(sig)
+        if existing is None:
+            seen[sig] = node
+            continue
+        for old, new in zip(node.outputs, existing.outputs):
+            replacements[id(old)] = new
+        merged += 1
+    _replace_uses(fn, {k: _final(replacements, k) for k in replacements})
+    return merged
+
+
+def dedup_reads(fn) -> int:
+    """Merge repeated variable reads with no intervening write.
+
+    ``ReadVariableOp`` is stateful (so generic CSE must skip it), but
+    consecutive reads of the same handle separated by no assignment are
+    guaranteed identical — the same read-dedup rewrite TensorFlow's
+    grappler applies inside a function body.  Ops that might mutate
+    arbitrary state (calls, control flow) invalidate everything.
+    """
+    graph: Graph = fn.graph
+    current_read: dict[int, SymbolicTensor] = {}
+    replacements: dict = {}
+    merged = 0
+
+    def resolve(t):
+        while id(t) in replacements:
+            t = replacements[id(t)]
+        return t
+
+    for node in graph.nodes:
+        node.inputs = [resolve(t) for t in node.inputs]
+        op = node.op_name
+        if op == "ReadVariableOp":
+            handle = node.inputs[0]
+            existing = current_read.get(id(handle))
+            if existing is not None:
+                replacements[id(node.outputs[0])] = existing
+                merged += 1
+            else:
+                current_read[id(handle)] = node.outputs[0]
+        elif op in ("AssignVariableOp", "AssignAddVariableOp", "AssignSubVariableOp"):
+            current_read.pop(id(node.inputs[0]), None)
+        elif node.op_def.has_side_effects:
+            # A call / control-flow op may write any variable.
+            current_read.clear()
+    _replace_uses(fn, {k: _final(replacements, k) for k in replacements})
+    return merged
+
+
+_PASSES = {
+    "prune": prune,
+    "fold": constant_fold,
+    "arithmetic": arithmetic_simplify,
+    "cse": cse,
+    "dedup_reads": dedup_reads,
+}
+
+
+def _topological_sort(fn) -> None:
+    """Restore producer-before-consumer node order after rewrites.
+
+    Constant folding appends its replacement Const nodes at the end of
+    the node list; the executor relies on list order being topological.
+    """
+    order: list[Node] = []
+    visited: set[int] = set()
+    for root in fn.graph.nodes:
+        if id(root) in visited:
+            continue
+        stack: list[tuple[Node, bool]] = [(root, False)]
+        while stack:
+            node, expanded = stack.pop()
+            if expanded:
+                order.append(node)
+                continue
+            if id(node) in visited:
+                continue
+            visited.add(id(node))
+            stack.append((node, True))
+            for t in node.inputs:
+                if id(t.node) not in visited:
+                    stack.append((t.node, False))
+            for c in node.control_inputs:
+                if id(c) not in visited:
+                    stack.append((c, False))
+    fn.graph.nodes = order
+
+
+def optimize_function(fn, passes: Optional[Sequence[str]] = None) -> dict:
+    """Run the pass pipeline on a GraphFunction; returns per-pass counts."""
+    report: dict[str, int] = {}
+    for i, name in enumerate(passes if passes is not None else DEFAULT_PASSES):
+        count = _PASSES[name](fn)
+        report[f"{i}:{name}"] = count
+    _topological_sort(fn)
+    fn._runner = None
+    return report

@@ -1,0 +1,137 @@
+"""GraphDef-style serialization.
+
+Staging "enables serializing the program for use without a Python
+interpreter" (paper §4.3): a graph function round-trips through a plain
+JSON-compatible dict.  The one documented exception matches §4.7 —
+"graphs with py_funcs are not in general serializable" — attempting to
+serialize one raises with a pointer to that limitation.
+"""
+
+from __future__ import annotations
+
+import base64
+from typing import Any
+
+import numpy as np
+
+from repro.framework import dtypes
+from repro.framework.errors import InvalidArgumentError
+from repro.framework.tensor_shape import TensorShape
+from repro.graph.graph import Graph, SymbolicTensor
+
+__all__ = ["function_to_def", "function_from_def", "graph_to_def"]
+
+
+def _encode_attr(value) -> Any:
+    from repro.graph.function import GraphFunction
+
+    if isinstance(value, dtypes.DType):
+        return {"_kind": "dtype", "name": value.name}
+    if isinstance(value, TensorShape):
+        return {"_kind": "shape", "dims": None if value.dims is None else list(value.dims)}
+    if isinstance(value, np.ndarray):
+        return {
+            "_kind": "ndarray",
+            "dtype": str(value.dtype),
+            "shape": list(value.shape),
+            "data": base64.b64encode(np.ascontiguousarray(value).tobytes()).decode("ascii"),
+        }
+    if isinstance(value, GraphFunction):
+        return {"_kind": "function", "def": function_to_def(value)}
+    if isinstance(value, (tuple, list)):
+        return {"_kind": "list", "items": [_encode_attr(v) for v in value]}
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if callable(value):
+        raise InvalidArgumentError(
+            "Graphs containing py_func (or other Python callables) are not "
+            "serializable (paper §4.7)"
+        )
+    raise InvalidArgumentError(f"Cannot serialize attr value {value!r}")
+
+
+def _decode_attr(value) -> Any:
+    if isinstance(value, dict) and "_kind" in value:
+        kind = value["_kind"]
+        if kind == "dtype":
+            return dtypes.as_dtype(value["name"])
+        if kind == "shape":
+            return TensorShape(value["dims"])
+        if kind == "ndarray":
+            arr = np.frombuffer(
+                base64.b64decode(value["data"]), dtype=np.dtype(value["dtype"])
+            ).reshape(value["shape"])
+            arr = arr.copy()
+            arr.flags.writeable = False
+            return arr
+        if kind == "function":
+            return function_from_def(value["def"])
+        if kind == "list":
+            return tuple(_decode_attr(v) for v in value["items"])
+        raise InvalidArgumentError(f"Unknown serialized attr kind {kind!r}")
+    return value
+
+
+def graph_to_def(graph: Graph) -> dict:
+    """Serialize a graph to a JSON-compatible dict."""
+    tensor_names: dict[int, str] = {}
+    node_defs = []
+    for node in graph.nodes:
+        for out in node.outputs:
+            tensor_names[id(out)] = out.name
+        node_defs.append(
+            {
+                "name": node.name,
+                "op": node.op_name,
+                "inputs": [tensor_names[id(t)] for t in node.inputs],
+                "device": node.device,
+                "attrs": {k: _encode_attr(v) for k, v in node.attrs.items()},
+            }
+        )
+    return {"name": graph.name, "nodes": node_defs}
+
+
+def function_to_def(fn) -> dict:
+    """Serialize a GraphFunction (graph + signature) to a dict."""
+    graph_def = graph_to_def(fn.graph)
+    names: dict[int, str] = {}
+    for node in fn.graph.nodes:
+        for out in node.outputs:
+            names[id(out)] = out.name
+    return {
+        "function_name": fn.name,
+        "graph": graph_def,
+        "inputs": [names[id(t)] for t in fn.inputs],
+        "outputs": [names[id(t)] for t in fn.outputs],
+    }
+
+
+def _graph_from_def(graph_def: dict) -> tuple[Graph, dict[str, SymbolicTensor]]:
+    graph = Graph(graph_def["name"])
+    by_name: dict[str, SymbolicTensor] = {}
+    for node_def in graph_def["nodes"]:
+        attrs = {k: _decode_attr(v) for k, v in node_def["attrs"].items()}
+        inputs = [by_name[name] for name in node_def["inputs"]]
+        graph.push_device(node_def.get("device"))
+        try:
+            outputs = graph.add_operation(
+                node_def["op"], inputs, attrs, name=node_def["name"]
+            )
+        finally:
+            graph.pop_device()
+        for out in outputs:
+            by_name[out.name] = out
+    return graph, by_name
+
+
+def function_from_def(fn_def: dict):
+    """Rebuild a GraphFunction from its serialized form."""
+    from repro.graph.function import GraphFunction
+
+    graph, by_name = _graph_from_def(fn_def["graph"])
+    return GraphFunction(
+        name=fn_def["function_name"],
+        graph=graph,
+        inputs=[by_name[name] for name in fn_def["inputs"]],
+        outputs=[by_name[name] for name in fn_def["outputs"]],
+    )

@@ -1,0 +1,70 @@
+"""Weight initializers.
+
+Each initializer is a callable ``(shape, dtype) -> Tensor``, drawing
+through the library's own stateful random ops so that seeding via
+:func:`repro.set_random_seed` makes model construction reproducible.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.framework import dtypes
+from repro.ops import array_ops, random_ops
+
+__all__ = ["zeros", "ones", "glorot_uniform", "he_normal", "random_normal", "constant"]
+
+
+def zeros(shape, dtype=dtypes.float32):
+    """All-zero initializer (biases, BatchNorm beta)."""
+    return array_ops.zeros(shape, dtype=dtype)
+
+
+def ones(shape, dtype=dtypes.float32):
+    """All-one initializer (BatchNorm gamma)."""
+    return array_ops.ones(shape, dtype=dtype)
+
+
+def constant(value):
+    """Initializer producing a constant value everywhere."""
+
+    def init(shape, dtype=dtypes.float32):
+        return array_ops.fill(list(shape), value, dtype=dtype)
+
+    return init
+
+
+def _fans(shape) -> tuple[int, int]:
+    shape = [int(d) for d in shape]
+    if len(shape) < 1:
+        return 1, 1
+    if len(shape) == 1:
+        return shape[0], shape[0]
+    if len(shape) == 2:
+        return shape[0], shape[1]
+    # Conv kernels (H, W, in, out): receptive field times channels.
+    receptive = int(np.prod(shape[:-2]))
+    return shape[-2] * receptive, shape[-1] * receptive
+
+
+def glorot_uniform(shape, dtype=dtypes.float32):
+    """Glorot/Xavier uniform: U(-a, a), a = sqrt(6 / (fan_in + fan_out))."""
+    fan_in, fan_out = _fans(shape)
+    limit = float(np.sqrt(6.0 / (fan_in + fan_out)))
+    return random_ops.random_uniform(list(shape), -limit, limit, dtype=dtype)
+
+
+def he_normal(shape, dtype=dtypes.float32):
+    """He normal: truncated normal with stddev sqrt(2 / fan_in)."""
+    fan_in, _ = _fans(shape)
+    stddev = float(np.sqrt(2.0 / fan_in))
+    return random_ops.truncated_normal(list(shape), stddev=stddev, dtype=dtype)
+
+
+def random_normal(stddev: float = 0.05):
+    """Plain normal initializer with the given standard deviation."""
+
+    def init(shape, dtype=dtypes.float32):
+        return random_ops.random_normal(list(shape), stddev=stddev, dtype=dtype)
+
+    return init

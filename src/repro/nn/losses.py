@@ -1,0 +1,30 @@
+"""Loss functions (thin reductions over the fused nn ops)."""
+
+from __future__ import annotations
+
+from repro.ops import math_ops, nn_ops
+
+__all__ = [
+    "mean_squared_error",
+    "softmax_cross_entropy",
+    "sparse_softmax_cross_entropy",
+]
+
+
+def mean_squared_error(y_true, y_pred):
+    """Mean of squared differences over all elements."""
+    return math_ops.reduce_mean(math_ops.squared_difference(y_pred, y_true))
+
+
+def softmax_cross_entropy(labels, logits):
+    """Mean softmax cross-entropy for one-hot labels."""
+    return math_ops.reduce_mean(
+        nn_ops.softmax_cross_entropy_with_logits(labels=labels, logits=logits)
+    )
+
+
+def sparse_softmax_cross_entropy(labels, logits):
+    """Mean softmax cross-entropy for integer class labels."""
+    return math_ops.reduce_mean(
+        nn_ops.sparse_softmax_cross_entropy_with_logits(labels=labels, logits=logits)
+    )

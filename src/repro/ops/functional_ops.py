@@ -1,0 +1,70 @@
+"""The function-call operation.
+
+"Graph functions are themselves executed by an operation that takes
+tensors as inputs and a function name as an attribute" (paper §4.1).
+``PartitionedCall`` is that operation: invoking a concrete graph
+function stages or executes a single node, which is what makes function
+composition free (§5) and lets a staged function's graph contain calls
+to other graph functions (Listing 8 / Figure 2).
+"""
+
+from __future__ import annotations
+
+from repro.framework.errors import InternalError
+from repro.ops.registry import register_gradient, register_kernel, register_op
+from repro.tensor import Tensor, TensorSpec
+
+__all__ = ["call_graph_function"]
+
+
+def _call_infer(inputs, attrs):
+    fn = attrs["f"]
+    return [TensorSpec(spec.shape, spec.dtype) for spec in fn.output_specs]
+
+
+# Conservatively stateful: the callee may read or mutate variables, so
+# calls are never folded, merged, or pruned.
+register_op(
+    "PartitionedCall",
+    infer_fn=_call_infer,
+    is_stateful=True,
+    has_side_effects=True,
+)
+
+
+@register_kernel("PartitionedCall", device_types=("CPU", "GPU"))
+def _call_kernel(inputs, attrs, device):
+    fn = attrs["f"]
+    tensors = [
+        Tensor._from_buffer(arr, spec.dtype, device)
+        for arr, spec in zip(inputs, fn.input_specs)
+    ]
+    return list(fn.run(tensors))
+
+
+@register_gradient("PartitionedCall")
+def _call_grad(op, *grads):
+    """Differentiate through a staged call by calling a staged backward.
+
+    The backward function is built (and cached) from the callee's graph
+    by symbolic tape replay, so "if a computation was staged in the
+    forward pass, its corresponding backward pass will also be staged"
+    (paper §4.2).
+    """
+    fn = op.attrs["f"]
+    from repro.core import backprop
+
+    return backprop.graph_function_backward(fn, op.inputs, op.outputs, grads)
+
+
+def call_graph_function(fn, inputs):
+    """Execute (or stage) a graph function via the call operation."""
+    from repro.runtime.executor import execute
+
+    if len(inputs) != len(fn.input_specs):
+        raise InternalError(
+            f"Graph function {fn.name!r} expects {len(fn.input_specs)} inputs, "
+            f"got {len(inputs)}"
+        )
+    out = execute("PartitionedCall", list(inputs), {"f": fn})
+    return out if isinstance(out, tuple) else (out,)

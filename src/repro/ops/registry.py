@@ -1,0 +1,161 @@
+"""Registries for operations, kernels, and gradients.
+
+"An operation is a primitive, possibly stateful function that takes
+tensors as inputs and produces tensors as outputs; a kernel is a
+device-specific implementation of an operation" (paper §4).
+
+Three registries implement that split:
+
+* :class:`OpDef` / :func:`register_op` — the device-independent
+  definition: statefulness (which gates constant folding and common
+  subexpression elimination) and a shape/dtype inference function used
+  when the op is *staged* into a graph.
+* :func:`register_kernel` — device-specific implementations, keyed by
+  ``(op name, device type)``.  CPU and the simulated GPU share NumPy
+  kernels; the TPU has none (it only runs XLA-compiled programs).
+* :func:`register_gradient` — the reverse-mode rule for each op,
+  consumed by the tape machinery (§4.2).  Gradient functions are
+  themselves compositions of primitive ops, so "it is possible to
+  stage [gradient computation] or not".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Sequence
+
+from repro.framework.errors import AlreadyExistsError, NotFoundError
+
+__all__ = [
+    "OpDef",
+    "register_op",
+    "get_op_def",
+    "register_kernel",
+    "get_kernel",
+    "has_kernel",
+    "register_gradient",
+    "get_gradient_function",
+    "has_gradient",
+    "list_ops",
+]
+
+# infer_fn(input_specs: list[TensorSpec], attrs: dict) -> list[TensorSpec]
+InferFn = Callable[[list, dict], list]
+# kernel(inputs: list[np.ndarray], attrs: dict, device) -> list of outputs
+KernelFn = Callable[..., object]
+# gradient_fn(op_record, *output_grads) -> sequence of per-input grads
+GradFn = Callable[..., Sequence]
+
+
+@dataclass(frozen=True)
+class OpDef:
+    """Device-independent definition of a primitive operation."""
+
+    name: str
+    infer_fn: Optional[InferFn] = None
+    is_stateful: bool = False
+    # Ops that must never be pruned even if their outputs are unused
+    # (e.g. variable assignment, save/restore, prints).
+    has_side_effects: bool = False
+    # Optional constant propagation: value_fn(inputs, attrs) -> list of
+    # numpy arrays (or None per output) computed from statically-known
+    # input values.  Lets shape inference see through Shape/Size/Rank.
+    value_fn: Optional[Callable] = None
+
+    def infer(self, input_specs: list, attrs: dict) -> list:
+        if self.infer_fn is None:
+            raise NotFoundError(
+                f"Operation {self.name!r} has no shape inference function and "
+                "therefore cannot be staged into a graph"
+            )
+        return self.infer_fn(input_specs, attrs)
+
+
+_OPS: dict[str, OpDef] = {}
+_KERNELS: dict[tuple[str, str], KernelFn] = {}
+_GRADIENTS: dict[str, GradFn] = {}
+
+
+def register_op(
+    name: str,
+    infer_fn: Optional[InferFn] = None,
+    is_stateful: bool = False,
+    has_side_effects: bool = False,
+    value_fn: Optional[Callable] = None,
+) -> OpDef:
+    """Register an operation definition.  Returns the OpDef."""
+    if name in _OPS:
+        raise AlreadyExistsError(f"Operation {name!r} is already registered")
+    op = OpDef(
+        name=name,
+        infer_fn=infer_fn,
+        is_stateful=is_stateful,
+        has_side_effects=has_side_effects,
+        value_fn=value_fn,
+    )
+    _OPS[name] = op
+    return op
+
+
+def get_op_def(name: str) -> OpDef:
+    try:
+        return _OPS[name]
+    except KeyError:
+        raise NotFoundError(f"Unknown operation: {name!r}") from None
+
+
+def list_ops() -> list[str]:
+    return sorted(_OPS)
+
+
+def register_kernel(op_name: str, device_types: Sequence[str] = ("CPU", "GPU")):
+    """Decorator registering ``fn`` as the kernel for op on device types."""
+
+    def decorator(fn: KernelFn) -> KernelFn:
+        for device_type in device_types:
+            key = (op_name, device_type.upper())
+            if key in _KERNELS:
+                raise AlreadyExistsError(f"Kernel already registered for {key}")
+            _KERNELS[key] = fn
+        return fn
+
+    return decorator
+
+
+def get_kernel(op_name: str, device_type: str) -> KernelFn:
+    try:
+        return _KERNELS[(op_name, device_type.upper())]
+    except KeyError:
+        raise NotFoundError(
+            f"No kernel registered for operation {op_name!r} on device type "
+            f"{device_type!r}"
+        ) from None
+
+
+def has_kernel(op_name: str, device_type: str) -> bool:
+    return (op_name, device_type.upper()) in _KERNELS
+
+
+def register_gradient(op_name: str):
+    """Decorator registering the reverse-mode gradient for an op."""
+
+    def decorator(fn: GradFn) -> GradFn:
+        if op_name in _GRADIENTS:
+            raise AlreadyExistsError(f"Gradient already registered for {op_name!r}")
+        _GRADIENTS[op_name] = fn
+        return fn
+
+    return decorator
+
+
+def get_gradient_function(op_name: str) -> GradFn:
+    try:
+        return _GRADIENTS[op_name]
+    except KeyError:
+        raise NotFoundError(
+            f"Operation {op_name!r} has no registered gradient"
+        ) from None
+
+
+def has_gradient(op_name: str) -> bool:
+    return op_name in _GRADIENTS

@@ -1,0 +1,30 @@
+"""The imperative runtime.
+
+This subpackage rebuilds, in Python, what the paper implements in
+~4000 lines of C++ (§5): the code responsible for constructing and
+executing operations.  It contains the device model (§4.4), the global
+context (device stacks, graph-building stacks, RNGs), the kernel
+registries, and the eager executor through which *every* operation in
+the system — imperative or staged — is funnelled.
+"""
+
+from repro.runtime.context import (
+    Context,
+    context,
+    device,
+    executing_eagerly,
+    list_devices,
+    set_random_seed,
+)
+from repro.runtime.device import Device, DeviceSpec
+
+__all__ = [
+    "Context",
+    "context",
+    "device",
+    "executing_eagerly",
+    "list_devices",
+    "set_random_seed",
+    "Device",
+    "DeviceSpec",
+]

@@ -1,0 +1,231 @@
+"""The global runtime context.
+
+"During program startup, the runtime detects the devices that are
+available to the machine, and makes it possible to both execute
+operations on them and store data on them" (paper §4.4).
+
+The :class:`Context` singleton owns:
+
+* the device registry (one CPU, plus simulated GPUs and TPUs),
+* the thread-local *device stack* pushed by the ``device(...)``
+  context manager,
+* the thread-local *graph-building stack* used by the tracer (§4.6) —
+  when non-empty, operations are staged into the innermost graph
+  instead of executed,
+* per-device random number generators with a global seed, and
+* a resolver hook through which the distribution layer
+  (:mod:`repro.distribute`) exposes remote devices by name.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable, Iterable, Optional
+
+import numpy as np
+
+from repro.framework.errors import InvalidArgumentError, NotFoundError
+from repro.runtime.device import Device, DeviceSpec, local_device_spec
+
+__all__ = [
+    "Context",
+    "context",
+    "device",
+    "executing_eagerly",
+    "list_devices",
+    "set_random_seed",
+]
+
+
+class _ThreadLocalStacks(threading.local):
+    def __init__(self) -> None:
+        self.device_stack: list[str] = []
+        self.graph_stack: list = []  # innermost graph builder last
+        # Graph-stack depths at each active init_scope entry: graphs
+        # pushed *after* entering the scope are still visible.
+        self.init_scope_marks: list[int] = []
+
+
+class Context:
+    """Process-global runtime state.  Use the :data:`context` singleton."""
+
+    def __init__(self, num_gpus: int = 1, num_tpus: int = 1) -> None:
+        self._devices: dict[str, Device] = {}
+        self._local = _ThreadLocalStacks()
+        self._seed: Optional[int] = None
+        self._rngs: dict[str, np.random.Generator] = {}
+        self._rng_lock = threading.Lock()
+        self._remote_resolver: Optional[Callable[[str], Optional[Device]]] = None
+        self._uid_lock = threading.Lock()
+        self._uid = 0
+        self.soft_device_placement = True
+        self._initialize_local_devices(num_gpus=num_gpus, num_tpus=num_tpus)
+
+    # -- devices -----------------------------------------------------------
+    def _initialize_local_devices(self, num_gpus: int, num_tpus: int) -> None:
+        self.add_device(Device(local_device_spec("CPU", 0)))
+        for i in range(num_gpus):
+            self.add_device(Device(local_device_spec("GPU", i)))
+        for i in range(num_tpus):
+            self.add_device(Device(local_device_spec("TPU", i)))
+
+    def add_device(self, dev: Device) -> None:
+        self._devices[dev.name] = dev
+
+    def list_devices(self) -> list[str]:
+        """Names of all devices the runtime is aware of (paper §4.4)."""
+        return sorted(self._devices)
+
+    def set_remote_device_resolver(
+        self, resolver: Optional[Callable[[str], Optional[Device]]]
+    ) -> None:
+        """Installed by the distribution layer to resolve remote names."""
+        self._remote_resolver = resolver
+
+    def get_device(self, name: str) -> Device:
+        """Resolve a (possibly partial) device name to a Device."""
+        spec = DeviceSpec.from_string(name) if isinstance(name, str) else name
+        merged = spec.make_merged_spec(self.default_device_spec())
+        full = merged.to_string()
+        if full in self._devices:
+            return self._devices[full]
+        if self._remote_resolver is not None:
+            dev = self._remote_resolver(full)
+            if dev is not None:
+                return dev
+        raise NotFoundError(f"Unknown device: {name!r} (resolved to {full!r})")
+
+    def default_device_spec(self) -> DeviceSpec:
+        return local_device_spec("CPU", 0)
+
+    def cpu_device(self) -> Device:
+        cached = self.__dict__.get("_cpu_device")
+        if cached is None:
+            cached = self._devices[local_device_spec("CPU", 0).to_string()]
+            self.__dict__["_cpu_device"] = cached
+        return cached
+
+    # -- device stack ----------------------------------------------------
+    def current_device_name(self) -> Optional[str]:
+        """Innermost explicitly-requested device name, if any."""
+        stack = self._local.device_stack
+        return stack[-1] if stack else None
+
+    def push_device(self, name: Optional[str]) -> None:
+        self._local.device_stack.append(name)  # type: ignore[arg-type]
+
+    def pop_device(self) -> None:
+        self._local.device_stack.pop()
+
+    # -- graph-building stack ---------------------------------------------
+    def current_graph(self):
+        """Innermost graph builder, or None when executing eagerly.
+
+        An active ``init_scope`` (paper §4.7) pauses the traces that
+        were active when it was entered; graph-building contexts opened
+        *inside* the scope still apply.
+        """
+        stack = self._local.graph_stack
+        if not stack:
+            return None
+        marks = self._local.init_scope_marks
+        if marks and len(stack) <= marks[-1]:
+            return None
+        return stack[-1]
+
+    def graph_stack(self) -> list:
+        return self._local.graph_stack
+
+    def push_graph(self, graph) -> None:
+        self._local.graph_stack.append(graph)
+
+    def pop_graph(self) -> None:
+        self._local.graph_stack.pop()
+
+    def executing_eagerly(self) -> bool:
+        return self.current_graph() is None
+
+    def enter_init_scope(self) -> None:
+        self._local.init_scope_marks.append(len(self._local.graph_stack))
+
+    def exit_init_scope(self) -> None:
+        self._local.init_scope_marks.pop()
+
+    @property
+    def in_init_scope(self) -> bool:
+        return bool(self._local.init_scope_marks)
+
+    # -- randomness -------------------------------------------------------
+    def set_random_seed(self, seed: Optional[int]) -> None:
+        """Set the global seed; resets every device's generator."""
+        self._seed = seed
+        with self._rng_lock:
+            self._rngs.clear()
+
+    def rng_for_device(self, device_name: str) -> np.random.Generator:
+        with self._rng_lock:
+            if device_name not in self._rngs:
+                if self._seed is None:
+                    self._rngs[device_name] = np.random.default_rng()
+                else:
+                    # Derive a distinct, deterministic stream per device.
+                    self._rngs[device_name] = np.random.default_rng(
+                        np.random.SeedSequence(
+                            entropy=self._seed,
+                            spawn_key=(hash(device_name) & 0xFFFFFFFF,),
+                        )
+                    )
+            return self._rngs[device_name]
+
+    # -- misc ---------------------------------------------------------------
+    def unique_id(self) -> int:
+        with self._uid_lock:
+            self._uid += 1
+            return self._uid
+
+
+context = Context()
+
+
+class device:
+    """Context manager pinning operations to a device (Listing 5).
+
+    Accepts shorthand (``"/gpu:0"``) or full names, including remote
+    names like ``"/job:training/task:2/device:GPU:0"`` (§4.5).  ``None``
+    pushes an "unspecified" frame that re-enables automatic placement
+    inside an outer pinned block.
+    """
+
+    def __init__(self, name: Optional[str]) -> None:
+        if name is not None:
+            # Validate eagerly so typos fail at the `with` statement.
+            DeviceSpec.from_string(name)
+        self._name = name
+
+    def __enter__(self) -> "device":
+        context.push_device(self._name)
+        graph = context.current_graph()
+        if graph is not None and hasattr(graph, "push_device"):
+            graph.push_device(self._name)
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        graph = context.current_graph()
+        if graph is not None and hasattr(graph, "pop_device"):
+            graph.pop_device()
+        context.pop_device()
+
+
+def executing_eagerly() -> bool:
+    """True when ops run immediately rather than being staged."""
+    return context.executing_eagerly()
+
+
+def list_devices() -> list[str]:
+    """List the names of all devices known to the runtime (§4.4)."""
+    return context.list_devices()
+
+
+def set_random_seed(seed: Optional[int]) -> None:
+    """Set the global random seed for all stateful random operations."""
+    context.set_random_seed(seed)

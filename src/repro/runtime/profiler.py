@@ -1,0 +1,109 @@
+"""A per-operation profiler for the multi-stage workflow's Analysis step.
+
+Paper §4.1, step 2: "Using any profiling tool the user is familiar
+with, identify performance-critical blocks of operations".  This
+profiler hooks the kernel-dispatch points of both executors, so one
+context manager covers imperative ops and the nodes of executing graph
+functions:
+
+    with repro.profiler.Profile() as prof:
+        train_step(batch)
+    print(prof.summary())
+
+Overhead when inactive is a single module-attribute check per op.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Optional
+
+__all__ = ["Profile", "active", "record"]
+
+# The currently active profiler, or None.  Read on the hot path.
+active: Optional["Profile"] = None
+_lock = threading.Lock()
+
+
+@dataclass
+class OpStats:
+    """Aggregate statistics for one operation type."""
+
+    count: int = 0
+    total_seconds: float = 0.0
+
+    @property
+    def mean_us(self) -> float:
+        return 0.0 if not self.count else self.total_seconds / self.count * 1e6
+
+
+class Profile:
+    """Collects per-op-name timing while active."""
+
+    def __init__(self) -> None:
+        self.ops: dict[str, OpStats] = {}
+        self._entered = 0.0
+
+    # -- context manager --------------------------------------------------
+    def __enter__(self) -> "Profile":
+        global active
+        with _lock:
+            if active is not None:
+                raise RuntimeError("A profiler is already active")
+            active = self
+        self._entered = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        global active
+        self.wall_seconds = time.perf_counter() - self._entered
+        with _lock:
+            active = None
+
+    # -- collection --------------------------------------------------------
+    def add(self, op_name: str, seconds: float) -> None:
+        stats = self.ops.get(op_name)
+        if stats is None:
+            stats = self.ops[op_name] = OpStats()
+        stats.count += 1
+        stats.total_seconds += seconds
+
+    # -- reporting ----------------------------------------------------------
+    @property
+    def total_op_seconds(self) -> float:
+        return sum(s.total_seconds for s in self.ops.values())
+
+    @property
+    def total_ops(self) -> int:
+        return sum(s.count for s in self.ops.values())
+
+    def top(self, n: int = 10) -> list[tuple[str, OpStats]]:
+        return sorted(
+            self.ops.items(), key=lambda kv: kv[1].total_seconds, reverse=True
+        )[:n]
+
+    def summary(self, n: int = 10) -> str:
+        lines = [
+            f"{'op':<28}{'calls':>8}{'total ms':>12}{'mean us':>12}",
+            "-" * 60,
+        ]
+        for name, stats in self.top(n):
+            lines.append(
+                f"{name:<28}{stats.count:>8}"
+                f"{stats.total_seconds * 1e3:>12.2f}{stats.mean_us:>12.1f}"
+            )
+        lines.append("-" * 60)
+        lines.append(
+            f"{'total':<28}{self.total_ops:>8}"
+            f"{self.total_op_seconds * 1e3:>12.2f}"
+        )
+        return "\n".join(lines)
+
+
+def record(op_name: str, seconds: float) -> None:
+    """Hot-path hook used by the executors."""
+    profiler = active
+    if profiler is not None:
+        profiler.add(op_name, seconds)

@@ -1,0 +1,177 @@
+"""Elementwise operation fusion.
+
+Greedy producer-consumer fusion over the HLO instruction list: a chain
+of elementwise instructions where each intermediate value has exactly
+one consumer collapses into a single ``Fusion`` instruction.  The fused
+kernel evaluates the chain in one dispatch, and the cost model stops
+charging memory traffic for the fused-away intermediates — the
+bandwidth saving that makes fusion matter on real accelerators (paper
+§4.4: "operation fusion").
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.xla.hlo import (
+    ELEMENTWISE_OPCODES,
+    HloComputation,
+    HloInstruction,
+)
+
+__all__ = ["fuse_elementwise"]
+
+
+def fuse_elementwise(computation: HloComputation) -> HloComputation:
+    """Return a new computation with elementwise chains fused."""
+    instrs = computation.instructions
+    consumer_count: dict[int, int] = {}
+    for instr in instrs:
+        for producer, _slot in instr.operands:
+            consumer_count[producer] = consumer_count.get(producer, 0) + 1
+    root_producers = {producer for producer, _ in computation.roots}
+
+    # Group instructions into clusters.  An elementwise instruction
+    # joins its (sole-consumer) elementwise producer's cluster.
+    cluster_of: dict[int, int] = {}  # instr index -> cluster id
+    clusters: dict[int, list[HloInstruction]] = {}
+
+    for instr in instrs:
+        joined: Optional[int] = None
+        if instr.is_elementwise and len(instr.output_specs) == 1:
+            for producer, _slot in instr.operands:
+                if (
+                    producer in cluster_of
+                    and consumer_count.get(producer, 0) == 1
+                    and producer not in root_producers
+                    and instrs[producer].is_elementwise
+                ):
+                    joined = cluster_of[producer]
+                    break
+        if joined is None:
+            if not instr.is_elementwise or instr.opcode == "Parameter":
+                continue
+            joined = instr.index
+            clusters[joined] = []
+        cluster_of[instr.index] = joined
+        clusters[joined].append(instr)
+
+    # Rebuild the instruction list with clusters collapsed.
+    new_instrs: list[HloInstruction] = []
+    remap: dict[tuple[int, int], tuple[int, int]] = {}
+
+    emitted_cluster: dict[int, int] = {}
+    for instr in instrs:
+        cid = cluster_of.get(instr.index)
+        if cid is not None and len(clusters[cid]) > 1:
+            last = clusters[cid][-1]
+            if instr.index != last.index:
+                continue  # interior of a fusion; emitted with the last member
+            fused = clusters[cid]
+            new_index = len(new_instrs)
+            member_ids = {m.index for m in fused}
+            external = []
+            for m in fused:
+                for op in m.operands:
+                    if op[0] not in member_ids and op not in external:
+                        external.append(op)
+            new_operands = [remap.get(op, op) for op in external]
+            flops = sum(m.flops for m in fused)
+            ext_bytes = _external_bytes(fused, member_ids, instrs)
+            fusion = HloInstruction(
+                index=new_index,
+                opcode="Fusion",
+                operands=new_operands,
+                attrs={"ops": tuple(m.opcode for m in fused)},
+                output_specs=list(last.output_specs),
+                kernel=_fusion_kernel(fused, external, member_ids),
+                flops=flops,
+                bytes_accessed=ext_bytes,
+                fused=fused,
+            )
+            new_instrs.append(fusion)
+            emitted_cluster[cid] = new_index
+            remap[(last.index, 0)] = (new_index, 0)
+        else:
+            new_index = len(new_instrs)
+            copied = HloInstruction(
+                index=new_index,
+                opcode=instr.opcode,
+                operands=[remap.get(op, op) for op in instr.operands],
+                attrs=instr.attrs,
+                output_specs=instr.output_specs,
+                kernel=instr.kernel,
+                flops=instr.flops,
+                bytes_accessed=instr.bytes_accessed,
+            )
+            new_instrs.append(copied)
+            for slot in range(len(instr.output_specs)):
+                remap[(instr.index, slot)] = (new_index, slot)
+
+    new_roots = [remap[r] for r in computation.roots]
+    return HloComputation(
+        name=computation.name,
+        num_parameters=computation.num_parameters,
+        instructions=new_instrs,
+        roots=new_roots,
+    )
+
+
+def _external_bytes(fused, member_ids, all_instrs) -> float:
+    """Bytes for a fusion: external inputs + final output only."""
+    from repro.xla.hlo import _spec_bytes
+
+    total = 0.0
+    seen = set()
+    for m in fused:
+        for producer, slot in m.operands:
+            if producer in member_ids or (producer, slot) in seen:
+                continue
+            seen.add((producer, slot))
+            total += _spec_bytes(all_instrs[producer].output_specs[slot])
+    total += sum(_spec_bytes(s) for s in fused[-1].output_specs)
+    return total
+
+
+def _fusion_kernel(fused, external, member_ids):
+    """One dispatch evaluating the whole chain on local temporaries.
+
+    Temporaries are dropped immediately after their final consumer so
+    the allocator reuses hot buffers — without this, a long fused chain
+    retains every intermediate and loses the cache locality that makes
+    fusion worthwhile.
+    """
+
+    plans = []
+    last_use: dict[int, int] = {}
+    for pos, m in enumerate(fused):
+        operand_sources = []
+        for op in m.operands:
+            if op[0] in member_ids:
+                operand_sources.append(("local", op[0]))
+                last_use[op[0]] = pos
+            else:
+                operand_sources.append(("ext", external.index(op)))
+        plans.append([m.index, m.kernel, operand_sources, ()])
+    last_index = fused[-1].index
+    for src, pos in last_use.items():
+        if src != last_index:
+            plans[pos][3] = plans[pos][3] + (src,)
+    plans = [tuple(p) for p in plans]
+
+    def run(arrays, device):
+        local: dict[int, object] = {}
+        for index, kernel, sources, dies in plans:
+            args = [
+                local[src] if kind == "local" else arrays[src]
+                for kind, src in sources
+            ]
+            result = kernel(args, device)
+            if isinstance(result, (list, tuple)):
+                result = result[0]
+            local[index] = result
+            for dead in dies:
+                local.pop(dead, None)
+        return [local[last_index]]
+
+    return run

@@ -1,0 +1,150 @@
+"""Classic graph mode — the paper's "TF" baseline (§5, §6)."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.compat import v1
+from repro.framework.errors import InvalidArgumentError
+from repro import nn
+
+
+class TestSession:
+    def test_feed_and_fetch(self):
+        g = v1.GraphBuilder()
+        with g.building():
+            x = g.placeholder(repro.float32, [2])
+            y = x * 2.0 + 1.0
+        with v1.Session(g) as sess:
+            out = sess.run(y, feed_dict={x: repro.constant([1.0, 2.0])})
+        np.testing.assert_allclose(out.numpy(), [3.0, 5.0])
+
+    def test_feed_accepts_numpy(self):
+        g = v1.GraphBuilder()
+        with g.building():
+            x = g.placeholder(repro.float32, [2])
+            y = repro.reduce_sum(x)
+        with v1.Session(g) as sess:
+            assert float(sess.run(y, feed_dict={x: np.float32([1, 2])})) == 3.0
+
+    def test_structured_fetches(self):
+        g = v1.GraphBuilder()
+        with g.building():
+            x = g.placeholder(repro.float32, [])
+            fetches = {"double": x * 2.0, "triple": [x * 3.0]}
+        with v1.Session(g) as sess:
+            out = sess.run(fetches, feed_dict={x: repro.constant(2.0)})
+        assert float(out["double"]) == 4.0
+        assert float(out["triple"][0]) == 6.0
+
+    def test_fetch_driven_pruning(self):
+        """Only the subgraph the fetches need executes (paper §5)."""
+        v = repro.Variable(0.0)
+        g = v1.GraphBuilder()
+        with g.building():
+            x = g.placeholder(repro.float32, [])
+            harmless = x * 2.0
+            _mutation = v.assign_add(1.0)
+        with v1.Session(g) as sess:
+            sess.run(harmless, feed_dict={x: repro.constant(1.0)})
+        assert float(v.read_value()) == 0.0  # assign was not fetched
+
+    def test_fetch_op_node(self):
+        v = repro.Variable(1.0)
+        g = v1.GraphBuilder()
+        with g.building():
+            train_op = v.assign_add(2.0)
+        with v1.Session(g) as sess:
+            result = sess.run(train_op)
+        assert result is None
+        assert float(v.read_value()) == 3.0
+
+    def test_foreign_fetch_rejected(self):
+        g1, g2 = v1.GraphBuilder(), v1.GraphBuilder()
+        with g1.building():
+            x = g1.placeholder(repro.float32, [])
+            y = x * 1.0
+        with v1.Session(g2) as sess:
+            with pytest.raises(InvalidArgumentError):
+                sess.run(y)
+
+    def test_non_graph_fetch_rejected(self):
+        g = v1.GraphBuilder()
+        with v1.Session(g) as sess:
+            with pytest.raises(InvalidArgumentError):
+                sess.run(repro.constant(1.0))
+
+    def test_unfed_placeholder_fails(self):
+        g = v1.GraphBuilder()
+        with g.building():
+            x = g.placeholder(repro.float32, [])
+            y = x + 1.0
+        with v1.Session(g) as sess:
+            with pytest.raises(InvalidArgumentError):
+                sess.run(y)
+
+
+class TestGradients:
+    def test_symbolic_gradients(self):
+        g = v1.GraphBuilder()
+        with g.building():
+            x = g.placeholder(repro.float32, [3])
+            y = repro.reduce_sum(x * x)
+            (dx,) = v1.gradients(y, [x])
+        with v1.Session(g) as sess:
+            out = sess.run(dx, feed_dict={x: repro.constant([1.0, 2.0, 3.0])})
+        np.testing.assert_allclose(out.numpy(), [2.0, 4.0, 6.0])
+
+    def test_gradients_wrt_variables(self):
+        v = repro.Variable([2.0, 3.0])
+        g = v1.GraphBuilder()
+        with g.building():
+            loss = repro.reduce_sum(v * v)
+            (dv,) = v1.gradients(loss, [v])
+        with v1.Session(g) as sess:
+            out = sess.run(dv)
+        np.testing.assert_allclose(out.numpy(), [4.0, 6.0])
+
+    def test_gradients_require_graph_context(self):
+        with pytest.raises(InvalidArgumentError):
+            v1.gradients(repro.constant(1.0), [repro.constant(1.0)])
+
+    def test_grad_ys_seed(self):
+        g = v1.GraphBuilder()
+        with g.building():
+            x = g.placeholder(repro.float32, [2])
+            y = x * 2.0
+            (dx,) = v1.gradients([y], [x], grad_ys=[repro.constant([10.0, 1.0])])
+        with v1.Session(g) as sess:
+            out = sess.run(dx, feed_dict={x: repro.constant([0.0, 0.0])})
+        np.testing.assert_allclose(out.numpy(), [20.0, 2.0])
+
+
+class TestClassicTraining:
+    def test_full_training_loop(self):
+        """The define-before-run workflow: build once, run many times."""
+        repro.set_random_seed(0)
+        w = repro.Variable(np.zeros((3, 1), np.float32))
+        b = repro.Variable(np.zeros((1,), np.float32))
+        g = v1.GraphBuilder()
+        with g.building():
+            x = g.placeholder(repro.float32, [None, 3])
+            y = g.placeholder(repro.float32, [None, 1])
+            pred = repro.matmul(x, w) + b
+            loss = repro.reduce_mean((pred - y) ** 2.0)
+            grads = v1.gradients(loss, [w, b])
+            train_ops = [
+                w.assign_sub(grads[0] * 0.1),
+                b.assign_sub(grads[1] * 0.1),
+            ]
+        rng = np.random.default_rng(0)
+        true_w = np.float32([[1.0], [-2.0], [0.5]])
+        xs = rng.normal(size=(64, 3)).astype(np.float32)
+        ys = xs @ true_w + 0.3
+        with v1.Session(g) as sess:
+            first = float(sess.run(loss, feed_dict={x: xs, y: ys}))
+            for _ in range(100):
+                sess.run(train_ops, feed_dict={x: xs, y: ys})
+            last = float(sess.run(loss, feed_dict={x: xs, y: ys}))
+        assert last < first * 0.05
+        np.testing.assert_allclose(w.numpy(), true_w, atol=0.15)

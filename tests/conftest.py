@@ -1,0 +1,60 @@
+"""Shared fixtures: deterministic seeds and numeric-gradient helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro
+
+
+@pytest.fixture(autouse=True)
+def _seed_everything():
+    repro.set_random_seed(1234)
+    np.random.seed(1234)
+    yield
+    repro.set_random_seed(None)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(42)
+
+
+def numeric_gradient(f, x: np.ndarray, eps: float = 1e-3) -> np.ndarray:
+    """Central-difference gradient of scalar-valued ``f`` at ``x``."""
+    x = np.asarray(x, dtype=np.float64)
+    grad = np.zeros_like(x)
+    flat = x.reshape(-1)
+    gflat = grad.reshape(-1)
+    for i in range(flat.size):
+        orig = flat[i]
+        flat[i] = orig + eps
+        hi = float(f(x.copy()))
+        flat[i] = orig - eps
+        lo = float(f(x.copy()))
+        flat[i] = orig
+        gflat[i] = (hi - lo) / (2 * eps)
+    return grad
+
+
+@pytest.fixture
+def grad_checker():
+    """Compare tape gradients against central differences."""
+
+    def check(op_fn, x_np, rtol=1e-2, atol=1e-3):
+        x_np = np.asarray(x_np, dtype=np.float64)
+
+        def scalar_fn(arr):
+            t = repro.constant(arr.astype(np.float64), dtype=repro.float64)
+            return repro.reduce_sum(op_fn(t)).numpy()
+
+        x = repro.constant(x_np, dtype=repro.float64)
+        with repro.GradientTape() as tape:
+            tape.watch(x)
+            y = repro.reduce_sum(op_fn(x))
+        analytic = tape.gradient(y, x).numpy()
+        numeric = numeric_gradient(scalar_fn, x_np)
+        np.testing.assert_allclose(analytic, numeric, rtol=rtol, atol=atol)
+
+    return check

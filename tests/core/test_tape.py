@@ -1,0 +1,220 @@
+"""GradientTape semantics, including the paper's Listings 1 and 2."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.framework.errors import FailedPreconditionError, InvalidArgumentError
+
+
+class TestListing1:
+    """Nested tapes compute higher-order derivatives (paper Listing 1)."""
+
+    def test_second_derivative(self):
+        x = repro.constant(3.0)
+        with repro.GradientTape() as t1:
+            with repro.GradientTape() as t2:
+                t1.watch(x)
+                t2.watch(x)
+                y = x * x
+            dy_dx = t2.gradient(y, x)
+            d2y_dx2 = t1.gradient(dy_dx, x)
+        assert float(dy_dx) == 6.0
+        assert float(d2y_dx2) == 2.0
+
+    def test_third_derivative(self):
+        x = repro.constant(2.0)
+        with repro.GradientTape() as t1:
+            with repro.GradientTape() as t2:
+                with repro.GradientTape() as t3:
+                    t1.watch(x); t2.watch(x); t3.watch(x)
+                    y = x * x * x
+                g1 = t3.gradient(y, x)      # 3x^2 = 12
+            g2 = t2.gradient(g1, x)          # 6x = 12
+        g3 = t1.gradient(g2, x)              # 6
+        assert float(g1) == 12.0
+        assert float(g2) == 12.0
+        assert float(g3) == 6.0
+
+
+class TestListing2:
+    """Variables are automatically watched (paper Listing 2)."""
+
+    def test_auto_watch_variables(self):
+        x = repro.Variable(3.0)
+        with repro.GradientTape() as t1:
+            with repro.GradientTape() as t2:
+                y = x * x
+            dy_dx = t2.gradient(y, x)
+            d2y_dx2 = t1.gradient(dy_dx, x)
+        assert float(dy_dx) == 6.0
+        assert float(d2y_dx2) == 2.0
+
+    def test_watch_accessed_variables_false(self):
+        v = repro.Variable(2.0)
+        with repro.GradientTape(watch_accessed_variables=False) as tape:
+            y = v * v
+        assert tape.gradient(y, v) is None
+
+    def test_watched_variables_listed(self):
+        v = repro.Variable(1.0)
+        w = repro.Variable(2.0)
+        with repro.GradientTape() as tape:
+            _ = v * 1.0
+            _ = w * 1.0
+        assert tape.watched_variables() == [v, w]
+
+
+class TestWatching:
+    def test_unwatched_constant_gives_none(self):
+        x = repro.constant(1.0)
+        with repro.GradientTape() as tape:
+            y = x * x
+        assert tape.gradient(y, x) is None
+
+    def test_explicit_watch(self):
+        x = repro.constant(4.0)
+        with repro.GradientTape() as tape:
+            tape.watch(x)
+            y = repro.sqrt(x)
+        assert float(tape.gradient(y, x)) == pytest.approx(0.25)
+
+    def test_watch_non_tensor_raises(self):
+        with repro.GradientTape() as tape:
+            with pytest.raises(InvalidArgumentError):
+                tape.watch("hello")
+
+    def test_unconnected_zero(self):
+        x = repro.constant(1.0)
+        z = repro.constant(2.0)
+        with repro.GradientTape() as tape:
+            tape.watch(x)
+            tape.watch(z)
+            y = x * 2.0
+        g = tape.gradient(y, z, unconnected_gradients="zero")
+        assert float(g) == 0.0
+
+    def test_bad_unconnected_mode(self):
+        x = repro.constant(1.0)
+        with repro.GradientTape() as tape:
+            tape.watch(x)
+            y = x * 1.0
+        with pytest.raises(InvalidArgumentError):
+            tape.gradient(y, x, unconnected_gradients="banana")
+
+
+class TestLifecycle:
+    def test_non_persistent_single_use(self):
+        x = repro.constant(1.0)
+        with repro.GradientTape() as tape:
+            tape.watch(x)
+            y = x * x
+        tape.gradient(y, x)
+        with pytest.raises(FailedPreconditionError):
+            tape.gradient(y, x)
+
+    def test_persistent_multi_use(self):
+        x = repro.constant(2.0)
+        with repro.GradientTape(persistent=True) as tape:
+            tape.watch(x)
+            y = x * x
+            z = x * x * x
+        assert float(tape.gradient(y, x)) == 4.0
+        assert float(tape.gradient(z, x)) == 12.0
+
+    def test_reentry_rejected(self):
+        tape = repro.GradientTape()
+        with tape:
+            with pytest.raises(FailedPreconditionError):
+                tape.__enter__()
+
+    def test_reset(self):
+        x = repro.constant(1.0)
+        with repro.GradientTape(persistent=True) as tape:
+            tape.watch(x)
+            y = x * x
+            tape.reset()
+            tape.watch(x)
+            z = x * 3.0
+        assert float(tape.gradient(z, x)) == 3.0
+
+    def test_stop_recording(self):
+        x = repro.constant(2.0)
+        with repro.GradientTape() as tape:
+            tape.watch(x)
+            y = x * x
+            with tape.stop_recording():
+                hidden = x * 10.0
+            z = y + hidden
+        assert float(tape.gradient(z, x)) == 4.0
+
+
+class TestStructures:
+    def test_nested_sources(self):
+        a = repro.constant(1.0)
+        b = repro.constant(2.0)
+        with repro.GradientTape() as tape:
+            tape.watch(a)
+            tape.watch(b)
+            y = a * 2.0 + b * 3.0
+        grads = tape.gradient(y, {"first": a, "rest": [b]})
+        assert float(grads["first"]) == 2.0
+        assert float(grads["rest"][0]) == 3.0
+
+    def test_multiple_targets_accumulate(self):
+        x = repro.constant(1.0)
+        with repro.GradientTape() as tape:
+            tape.watch(x)
+            y1 = x * 2.0
+            y2 = x * 3.0
+        assert float(tape.gradient([y1, y2], x)) == 5.0
+
+    def test_output_gradients_seed(self):
+        x = repro.constant([1.0, 1.0])
+        with repro.GradientTape() as tape:
+            tape.watch(x)
+            y = x * 2.0
+        seed = repro.constant([10.0, 0.5])
+        g = tape.gradient(y, x, output_gradients=seed)
+        np.testing.assert_allclose(g.numpy(), [20.0, 1.0])
+
+    def test_non_differentiable_target_rejected(self):
+        x = repro.constant(1.0)
+        with repro.GradientTape() as tape:
+            tape.watch(x)
+            y = repro.cast(x, repro.int32)
+        with pytest.raises(InvalidArgumentError):
+            tape.gradient(y, x)
+
+
+class TestJacobian:
+    def test_dense_jacobian(self):
+        x = repro.constant([1.0, 2.0])
+        with repro.GradientTape(persistent=True) as tape:
+            tape.watch(x)
+            y = x * x
+        j = tape.jacobian(y, x)
+        np.testing.assert_allclose(j.numpy(), [[2.0, 0.0], [0.0, 4.0]])
+
+    def test_requires_persistent(self):
+        x = repro.constant([1.0])
+        with repro.GradientTape() as tape:
+            tape.watch(x)
+            y = x * x
+        with pytest.raises(FailedPreconditionError):
+            tape.jacobian(y, x)
+
+
+class TestGradientOfGradientExpressions:
+    def test_mixed_order(self):
+        """d/dx [x * dy/dx] where y = x^3."""
+        x = repro.constant(2.0)
+        with repro.GradientTape() as outer:
+            outer.watch(x)
+            with repro.GradientTape() as inner:
+                inner.watch(x)
+                y = x * x * x
+            dy = inner.gradient(y, x)  # 3x^2
+            z = x * dy  # 3x^3
+        # dz/dx = 9x^2 = 36
+        assert float(outer.gradient(z, x)) == pytest.approx(36.0)

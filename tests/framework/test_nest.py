@@ -1,0 +1,116 @@
+"""Unit and property tests for structured-value utilities."""
+
+import collections
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.framework import nest
+
+Point = collections.namedtuple("Point", ["x", "y"])
+
+
+class TestFlatten:
+    def test_leaf(self):
+        assert nest.flatten(5) == [5]
+
+    def test_nested_list(self):
+        assert nest.flatten([1, [2, 3], (4,)]) == [1, 2, 3, 4]
+
+    def test_dict_sorted_order(self):
+        assert nest.flatten({"b": 2, "a": 1}) == [1, 2]
+
+    def test_namedtuple(self):
+        assert nest.flatten(Point(1, [2, 3])) == [1, 2, 3]
+
+    def test_none_is_leaf(self):
+        assert nest.flatten([None, 1]) == [None, 1]
+
+    def test_flatten_with_paths(self):
+        paths = nest.flatten_with_paths({"a": [10, 20]})
+        assert paths == [(("a", 0), 10), (("a", 1), 20)]
+
+
+class TestPack:
+    def test_roundtrip_mixed(self):
+        structure = {"a": [1, (2, 3)], "b": 4}
+        flat = nest.flatten(structure)
+        assert nest.pack_sequence_as(structure, flat) == structure
+
+    def test_wrong_length_raises(self):
+        with pytest.raises(ValueError):
+            nest.pack_sequence_as([1, 2], [1])
+
+    def test_namedtuple_type_preserved(self):
+        packed = nest.pack_sequence_as(Point(0, 0), [7, 8])
+        assert isinstance(packed, Point)
+        assert packed == Point(7, 8)
+
+    def test_replaces_leaves(self):
+        packed = nest.pack_sequence_as((1, [2]), ["a", "b"])
+        assert packed == ("a", ["b"])
+
+
+class TestSameStructure:
+    def test_matching(self):
+        nest.assert_same_structure({"a": [1]}, {"a": [9]})
+
+    def test_dict_keys_differ(self):
+        with pytest.raises(ValueError):
+            nest.assert_same_structure({"a": 1}, {"b": 1})
+
+    def test_list_vs_tuple_differ(self):
+        with pytest.raises(ValueError):
+            nest.assert_same_structure([1], (1,))
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            nest.assert_same_structure([1, 2], [1])
+
+
+class TestMapStructure:
+    def test_single(self):
+        assert nest.map_structure(lambda v: v * 2, {"a": 1, "b": [2]}) == {
+            "a": 2,
+            "b": [4],
+        }
+
+    def test_multi(self):
+        out = nest.map_structure(lambda a, b: a + b, [1, 2], [10, 20])
+        assert out == [11, 22]
+
+    def test_structure_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            nest.map_structure(lambda a, b: a, [1], [1, 2])
+
+
+_leaves = st.integers(-5, 5)
+_structures = st.recursive(
+    _leaves,
+    lambda children: st.one_of(
+        st.lists(children, max_size=3),
+        st.tuples(children, children),
+        st.dictionaries(st.sampled_from("abcd"), children, max_size=3),
+    ),
+    max_leaves=12,
+)
+
+
+class TestProperties:
+    @given(_structures)
+    def test_flatten_pack_roundtrip(self, structure):
+        flat = nest.flatten(structure)
+        assert nest.pack_sequence_as(structure, flat) == structure
+
+    @given(_structures)
+    def test_map_identity(self, structure):
+        assert nest.map_structure(lambda v: v, structure) == structure
+
+    @given(_structures)
+    def test_flatten_deterministic(self, structure):
+        assert nest.flatten(structure) == nest.flatten(structure)
+
+    @given(_structures)
+    def test_map_preserves_leaf_count(self, structure):
+        mapped = nest.map_structure(lambda v: v + 1, structure)
+        assert len(nest.flatten(mapped)) == len(nest.flatten(structure))

@@ -1,0 +1,153 @@
+"""Unit and property tests for the shape algebra."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.framework.errors import InvalidArgumentError
+from repro.framework.tensor_shape import TensorShape, broadcast_shapes
+
+
+class TestConstruction:
+    def test_unknown_rank(self):
+        s = TensorShape(None)
+        assert s.rank is None
+        assert not s.is_fully_defined
+        assert not bool(s)
+
+    def test_scalar(self):
+        s = TensorShape([])
+        assert s.rank == 0
+        assert s.is_fully_defined
+        assert s.num_elements() == 1
+
+    def test_from_int(self):
+        assert TensorShape(3).as_list() == [3]
+
+    def test_partial(self):
+        s = TensorShape([2, None, 4])
+        assert s.rank == 3
+        assert not s.is_fully_defined
+        assert s.num_elements() is None
+
+    def test_negative_dim_rejected(self):
+        with pytest.raises(InvalidArgumentError):
+            TensorShape([-2])
+
+    def test_from_tensorshape(self):
+        s = TensorShape([1, 2])
+        assert TensorShape(s) == s
+
+    def test_indexing_and_slicing(self):
+        s = TensorShape([2, 3, 4])
+        assert s[0] == 2
+        assert s[-1] == 4
+        assert s[1:].as_list() == [3, 4]
+        assert TensorShape(None)[0] is None
+
+    def test_len_and_iter(self):
+        s = TensorShape([5, 6])
+        assert len(s) == 2
+        assert list(s) == [5, 6]
+        with pytest.raises(ValueError):
+            len(TensorShape(None))
+
+
+class TestCompatibility:
+    def test_unknown_compatible_with_all(self):
+        assert TensorShape(None).is_compatible_with([1, 2, 3])
+
+    def test_partial_compatible(self):
+        assert TensorShape([2, None]).is_compatible_with([2, 7])
+        assert not TensorShape([2, None]).is_compatible_with([3, 7])
+
+    def test_rank_mismatch_incompatible(self):
+        assert not TensorShape([2]).is_compatible_with([2, 2])
+
+    def test_subtype(self):
+        assert TensorShape([2, 3]).is_subtype_of([2, None])
+        assert TensorShape([2, 3]).is_subtype_of(None)
+        assert not TensorShape([2, None]).is_subtype_of([2, 3])
+
+
+class TestMerge:
+    def test_merge_fills_unknowns(self):
+        merged = TensorShape([2, None]).merge_with([None, 3])
+        assert merged.as_list() == [2, 3]
+
+    def test_merge_conflict_raises(self):
+        with pytest.raises(InvalidArgumentError):
+            TensorShape([2]).merge_with([3])
+
+    def test_most_general(self):
+        g = TensorShape([2, 3]).most_general(TensorShape([2, 4]))
+        assert g.as_list() == [2, None]
+        assert TensorShape([2]).most_general(TensorShape([2, 2])).rank is None
+
+    def test_concatenate(self):
+        assert TensorShape([1]).concatenate([2, 3]).as_list() == [1, 2, 3]
+        assert (TensorShape([1]) + [4]).as_list() == [1, 4]
+
+
+class TestBroadcast:
+    def test_simple(self):
+        assert broadcast_shapes([2, 1], [1, 3]).as_list() == [2, 3]
+
+    def test_scalar(self):
+        assert broadcast_shapes([], [4, 5]).as_list() == [4, 5]
+
+    def test_unknown_dims(self):
+        out = broadcast_shapes([None, 3], [1, 3])
+        assert out.as_list() == [None, 3]
+
+    def test_incompatible_raises(self):
+        with pytest.raises(InvalidArgumentError):
+            broadcast_shapes([2], [3])
+
+    def test_unknown_rank(self):
+        assert broadcast_shapes(None, [1, 2]).rank is None
+
+
+@st.composite
+def _np_shapes(draw):
+    return tuple(draw(st.lists(st.integers(1, 4), min_size=0, max_size=4)))
+
+
+class TestBroadcastProperties:
+    @given(_np_shapes(), _np_shapes())
+    def test_matches_numpy(self, a, b):
+        """Our broadcasting agrees with NumPy on fully-defined shapes."""
+        try:
+            expected = np.broadcast_shapes(a, b)
+        except ValueError:
+            with pytest.raises(InvalidArgumentError):
+                broadcast_shapes(a, b)
+            return
+        assert broadcast_shapes(a, b).as_tuple() == tuple(expected)
+
+    @given(_np_shapes(), _np_shapes())
+    def test_commutative(self, a, b):
+        try:
+            left = broadcast_shapes(a, b)
+        except InvalidArgumentError:
+            with pytest.raises(InvalidArgumentError):
+                broadcast_shapes(b, a)
+            return
+        assert left == broadcast_shapes(b, a)
+
+    @given(_np_shapes())
+    def test_merge_identity(self, a):
+        s = TensorShape(a)
+        assert s.merge_with(s) == s
+        assert s.is_subtype_of(s.most_general(s))
+
+    @given(_np_shapes(), _np_shapes())
+    def test_most_general_is_upper_bound(self, a, b):
+        sa, sb = TensorShape(a), TensorShape(b)
+        g = sa.most_general(sb)
+        assert sa.is_subtype_of(g)
+        assert sb.is_subtype_of(g)
+
+    @given(_np_shapes())
+    def test_hash_consistency(self, a):
+        assert hash(TensorShape(a)) == hash(TensorShape(list(a)))

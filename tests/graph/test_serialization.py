@@ -1,0 +1,98 @@
+"""GraphDef serialization round-trips (paper §4.3: staging enables
+serializing the program for use without a Python interpreter)."""
+
+import json
+
+import numpy as np
+import pytest
+
+import repro
+from repro.framework.errors import InvalidArgumentError
+from repro.graph.serialization import function_from_def, function_to_def
+
+
+def _concrete(fn, *args):
+    return repro.function(fn).get_concrete_function(*args)
+
+
+class TestRoundTrip:
+    def test_simple_function(self):
+        concrete = _concrete(lambda x: x * 2.0 + 1.0, repro.constant([1.0, 2.0]))
+        spec = function_to_def(concrete.graph_function)
+        rebuilt = function_from_def(spec)
+        out = rebuilt.run([repro.constant([3.0, 4.0])])
+        np.testing.assert_allclose(out[0].numpy(), [7.0, 9.0])
+
+    def test_json_compatible(self):
+        concrete = _concrete(
+            lambda x: repro.reduce_sum(repro.matmul(x, x)),
+            repro.constant(np.eye(2, dtype=np.float32)),
+        )
+        spec = concrete.definition()
+        text = json.dumps(spec)  # must not raise
+        rebuilt = function_from_def(json.loads(text))
+        out = rebuilt.run([repro.constant(np.eye(2, dtype=np.float32))])
+        assert float(out[0]) == 2.0
+
+    def test_constants_preserved(self):
+        c = repro.constant(np.arange(6, dtype=np.float32).reshape(2, 3))
+
+        @repro.function
+        def f(x):
+            return repro.matmul(repro.constant(np.ones((2, 2), np.float32)), c) + x
+
+        concrete = f.get_concrete_function(repro.constant(np.zeros((2, 3), np.float32)))
+        rebuilt = function_from_def(concrete.definition())
+        out = rebuilt.run(
+            [repro.constant(np.zeros((2, 3), np.float32))]
+            + [t for t in concrete.captured_externals]
+        )
+        expected = np.ones((2, 2)) @ np.arange(6).reshape(2, 3)
+        np.testing.assert_allclose(out[0].numpy(), expected)
+
+    def test_nested_function_attr(self):
+        @repro.function
+        def inner(x):
+            return x * 3.0
+
+        @repro.function
+        def outer(x):
+            return inner(x) + 1.0
+
+        concrete = outer.get_concrete_function(repro.constant(1.0))
+        rebuilt = function_from_def(concrete.definition())
+        out = rebuilt.run([repro.constant(2.0)])
+        assert float(out[0]) == 7.0
+
+    def test_control_flow_serializes(self):
+        @repro.function
+        def f(x):
+            return repro.cond(x > 0.0, lambda: x * 2.0, lambda: x - 1.0)
+
+        concrete = f.get_concrete_function(repro.constant(1.0))
+        rebuilt = function_from_def(concrete.definition())
+        assert float(rebuilt.run([repro.constant(3.0)])[0]) == 6.0
+        assert float(rebuilt.run([repro.constant(-3.0)])[0]) == -4.0
+
+    def test_dtype_and_shape_attrs_roundtrip(self):
+        @repro.function
+        def f(x):
+            return repro.cast(repro.reduce_sum(x, axis=0, keepdims=True), repro.float64)
+
+        concrete = f.get_concrete_function(repro.constant(np.ones((2, 2), np.float32)))
+        rebuilt = function_from_def(concrete.definition())
+        out = rebuilt.run([repro.constant(np.ones((2, 2), np.float32))])
+        assert out[0].dtype is repro.float64
+
+
+class TestLimits:
+    def test_py_func_not_serializable(self):
+        """Paper §4.7: graphs with py_funcs are not serializable."""
+
+        @repro.function
+        def f(x):
+            return repro.py_func(lambda v: v.numpy(), [x], Tout=repro.float32)
+
+        concrete = f.get_concrete_function(repro.constant(1.0))
+        with pytest.raises(InvalidArgumentError, match="py_func"):
+            concrete.definition()

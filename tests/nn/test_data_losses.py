@@ -1,0 +1,94 @@
+"""Dataset iterators and loss functions."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro import nn
+from repro.framework.errors import OutOfRangeError
+
+
+class TestDataset:
+    def test_batching(self):
+        ds = nn.Dataset([np.arange(10), np.arange(10) * 2], batch_size=3)
+        x, y = next(iter(ds))
+        np.testing.assert_array_equal(x.numpy(), [0, 1, 2])
+        np.testing.assert_array_equal(y.numpy(), [0, 2, 4])
+
+    def test_exhaustion(self):
+        it = nn.Dataset([np.arange(4)], batch_size=2).make_iterator()
+        it.get_next()
+        it.get_next()
+        with pytest.raises(OutOfRangeError):
+            it.get_next()
+
+    def test_repeat_wraps(self):
+        it = nn.Dataset([np.arange(4)], batch_size=3).repeat().make_iterator()
+        (first,) = it.get_next()
+        (second,) = it.get_next()  # wraps to the start
+        np.testing.assert_array_equal(second.numpy(), [0, 1, 2])
+
+    def test_shuffle_deterministic_per_seed(self):
+        a = list(nn.Dataset([np.arange(10)], batch_size=5).shuffle(3))
+        b = list(nn.Dataset([np.arange(10)], batch_size=5).shuffle(3))
+        np.testing.assert_array_equal(a[0][0].numpy(), b[0][0].numpy())
+
+    def test_mismatched_components_rejected(self):
+        with pytest.raises(ValueError):
+            nn.Dataset([np.arange(3), np.arange(4)])
+
+    def test_synthetic_generator(self):
+        ds = nn.synthetic_image_classification(20, height=8, width=8, num_classes=5)
+        imgs, labels = next(iter(ds.batch(4)))
+        assert imgs.shape.as_list() == [4, 8, 8, 3]
+        assert labels.dtype is repro.int64
+        assert (labels.numpy() < 5).all()
+
+    def test_num_batches(self):
+        assert nn.Dataset([np.arange(10)], batch_size=3).num_batches == 3
+
+
+class TestLosses:
+    def test_mse(self):
+        loss = nn.mean_squared_error(
+            repro.constant([1.0, 2.0]), repro.constant([2.0, 4.0])
+        )
+        assert float(loss) == pytest.approx((1 + 4) / 2)
+
+    def test_softmax_xent_uniform(self):
+        logits = repro.zeros([2, 4])
+        labels = repro.constant(np.eye(4, dtype=np.float32)[[0, 1]])
+        loss = nn.softmax_cross_entropy(labels, logits)
+        assert float(loss) == pytest.approx(np.log(4), rel=1e-5)
+
+    def test_sparse_xent_perfect_prediction(self):
+        logits = repro.constant(np.float32([[100.0, 0.0], [0.0, 100.0]]))
+        labels = repro.constant(np.array([0, 1]))
+        assert float(nn.sparse_softmax_cross_entropy(labels, logits)) < 1e-5
+
+    def test_losses_differentiable(self):
+        logits = repro.constant(np.random.randn(4, 3).astype(np.float32))
+        labels = repro.constant(np.array([0, 1, 2, 0]))
+        with repro.GradientTape() as tape:
+            tape.watch(logits)
+            loss = nn.sparse_softmax_cross_entropy(labels, logits)
+        g = tape.gradient(loss, logits)
+        assert g.shape.as_list() == [4, 3]
+        # Cross-entropy gradients sum to zero across classes per example.
+        np.testing.assert_allclose(g.numpy().sum(axis=1), np.zeros(4), atol=1e-6)
+
+
+class TestInitializers:
+    def test_glorot_bounds(self):
+        w = nn.initializers.glorot_uniform((64, 64)).numpy()
+        limit = np.sqrt(6.0 / 128)
+        assert (np.abs(w) <= limit).all()
+        assert w.std() > 0
+
+    def test_he_normal_scale(self):
+        w = nn.initializers.he_normal((1000, 10)).numpy()
+        assert w.std() == pytest.approx(np.sqrt(2.0 / 1000), rel=0.2)
+
+    def test_constant(self):
+        w = nn.initializers.constant(3.5)((2, 2))
+        np.testing.assert_allclose(w.numpy(), np.full((2, 2), 3.5))

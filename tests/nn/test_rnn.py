@@ -1,0 +1,163 @@
+"""Recurrent layers: both execution strategies of the §4.1 trade-off."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro import nn
+
+
+def _sequence(batch=4, steps=6, dim=3, seed=0):
+    rng = np.random.default_rng(seed)
+    return repro.constant(rng.normal(size=(batch, steps, dim)).astype(np.float32))
+
+
+class TestCells:
+    def test_lstm_shapes_and_state(self):
+        cell = nn.LSTMCell(5)
+        x = repro.constant(np.zeros((2, 3), np.float32))
+        out, (h, c) = cell((x, cell.zero_state(2)))
+        assert out.shape.as_list() == [2, 5]
+        assert h.shape.as_list() == [2, 5]
+        assert c.shape.as_list() == [2, 5]
+
+    def test_lstm_forget_bias(self):
+        cell = nn.LSTMCell(4)
+        cell((repro.constant(np.zeros((1, 2), np.float32)), cell.zero_state(1)))
+        bias = cell.bias.numpy()
+        np.testing.assert_array_equal(bias[4:8], np.ones(4))  # forget gate
+        np.testing.assert_array_equal(bias[:4], np.zeros(4))
+
+    def test_gru_shapes(self):
+        cell = nn.GRUCell(7)
+        x = repro.constant(np.zeros((3, 2), np.float32))
+        out, (h,) = cell((x, cell.zero_state(3)))
+        assert out.shape.as_list() == [3, 7]
+        assert len(cell.trainable_variables) == 4
+
+    def test_state_carries_information(self):
+        cell = nn.LSTMCell(4)
+        x = repro.constant(np.ones((1, 2), np.float32))
+        _, state1 = cell((x, cell.zero_state(1)))
+        out_from_zero, _ = cell((x, cell.zero_state(1)))
+        out_from_state, _ = cell((x, state1))
+        assert not np.allclose(out_from_zero.numpy(), out_from_state.numpy())
+
+
+class TestRNNModes:
+    @pytest.mark.parametrize("cell_cls", [nn.LSTMCell, nn.GRUCell])
+    def test_unrolled_and_while_agree(self, cell_cls):
+        repro.set_random_seed(3)
+        cell = cell_cls(5)
+        x = _sequence()
+        unrolled = nn.RNN(cell, return_sequences=True, unroll=True)(x)
+        looped = nn.RNN(cell, return_sequences=True, unroll=False)(x)
+        np.testing.assert_allclose(looped.numpy(), unrolled.numpy(), atol=1e-6)
+
+    def test_return_last_output(self):
+        cell = nn.LSTMCell(5)
+        x = _sequence()
+        seq = nn.RNN(cell, return_sequences=True)(x)
+        last = nn.RNN(cell, return_sequences=False)(x)
+        np.testing.assert_allclose(last.numpy(), seq.numpy()[:, -1], atol=1e-6)
+
+    def test_unrolled_graph_grows_with_sequence_length(self):
+        """Paper §4.1: tracing 'fully unrolls' Python loops."""
+
+        def graph_size(steps, unroll):
+            cell = nn.LSTMCell(4)
+            rnn = nn.RNN(cell, unroll=unroll)
+            fn = repro.function(lambda x: rnn(x))
+            x = repro.constant(np.zeros((2, steps, 3), np.float32))
+            return fn.get_concrete_function(x).num_nodes
+
+        assert graph_size(12, unroll=True) > graph_size(4, unroll=True) + 20
+        # while_loop keeps the graph constant-size.
+        assert graph_size(12, unroll=False) == graph_size(4, unroll=False)
+
+    def test_while_rnn_trains_staged(self):
+        repro.set_random_seed(0)
+        rng = np.random.default_rng(0)
+        embed = nn.Embedding(12, 4)
+        rnn = nn.RNN(nn.LSTMCell(8), unroll=False)
+        head = nn.Dense(2)
+        opt = nn.Adam(0.02)
+        ids = repro.constant(rng.integers(0, 12, size=(8, 5)))
+        # Task: does the sequence contain token 0?
+        labels = repro.constant((ids.numpy() == 0).any(axis=1).astype(np.int64))
+
+        def step(ids, labels):
+            with repro.GradientTape() as tape:
+                logits = head(rnn(embed(ids)))
+                loss = nn.sparse_softmax_cross_entropy(labels, logits)
+            variables = (
+                embed.trainable_variables
+                + rnn.trainable_variables
+                + head.trainable_variables
+            )
+            grads = tape.gradient(loss, variables)
+            assert all(g is not None for g in grads)
+            opt.apply_gradients(zip(grads, variables))
+            return loss
+
+        staged = repro.function(step)
+        first = float(staged(ids, labels))
+        for _ in range(25):
+            last = float(staged(ids, labels))
+        assert last < first * 0.8
+        assert staged.trace_count <= 2
+
+    def test_unrolled_rnn_trains_eagerly(self):
+        repro.set_random_seed(1)
+        rnn = nn.RNN(nn.GRUCell(6), unroll=True)
+        head = nn.Dense(1)
+        opt = nn.SGD(0.1)
+        x = _sequence(seed=1)
+        target = repro.constant(np.random.randn(4, 1).astype(np.float32))
+
+        def step():
+            with repro.GradientTape() as tape:
+                loss = nn.mean_squared_error(target, head(rnn(x)))
+            variables = rnn.trainable_variables + head.trainable_variables
+            grads = tape.gradient(loss, variables)
+            opt.apply_gradients(zip(grads, variables))
+            return float(loss)
+
+        losses = [step() for _ in range(15)]
+        assert losses[-1] < losses[0]
+
+
+class TestEmbeddingAndLayerNorm:
+    def test_embedding_lookup(self):
+        emb = nn.Embedding(5, 3)
+        out = emb(repro.constant(np.array([[0, 4], [2, 2]])))
+        assert out.shape.as_list() == [2, 2, 3]
+        np.testing.assert_allclose(
+            out.numpy()[1, 0], out.numpy()[1, 1]
+        )  # same id, same vector
+
+    def test_embedding_gradient_sparse_pattern(self):
+        emb = nn.Embedding(6, 2)
+        ids = repro.constant(np.array([1, 3, 3]))
+        with repro.GradientTape() as tape:
+            loss = repro.reduce_sum(emb(ids))
+        g = tape.gradient(loss, emb.table).numpy()
+        np.testing.assert_array_equal(g[1], [1.0, 1.0])
+        np.testing.assert_array_equal(g[3], [2.0, 2.0])  # used twice
+        np.testing.assert_array_equal(g[0], [0.0, 0.0])
+
+    def test_layer_norm_normalizes(self):
+        ln = nn.LayerNormalization()
+        x = repro.constant((np.random.randn(8, 16) * 4 + 3).astype(np.float32))
+        out = ln(x).numpy()
+        np.testing.assert_allclose(out.mean(axis=-1), np.zeros(8), atol=1e-5)
+        np.testing.assert_allclose(out.std(axis=-1), np.ones(8), atol=1e-3)
+
+    def test_layer_norm_trainable(self):
+        ln = nn.LayerNormalization()
+        x = repro.constant(np.random.randn(2, 4).astype(np.float32))
+        with repro.GradientTape() as tape:
+            loss = repro.reduce_sum(ln(x) ** 2.0)
+        grads = tape.gradient(loss, ln.trainable_variables)
+        assert len(grads) == 2
+        assert all(g is not None for g in grads)

@@ -1,0 +1,188 @@
+"""Array op correctness against NumPy references."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.framework.errors import InvalidArgumentError
+
+X = np.arange(24, dtype=np.float32).reshape(2, 3, 4)
+
+
+def t(x):
+    return repro.constant(x)
+
+
+class TestShapeReading:
+    def test_shape(self):
+        s = repro.shape(t(X))
+        assert s.dtype is repro.int32
+        np.testing.assert_array_equal(s.numpy(), [2, 3, 4])
+
+    def test_size_rank(self):
+        assert int(repro.size(t(X))) == 24
+        assert int(repro.rank(t(X))) == 3
+
+    def test_shape_of_scalar(self):
+        assert repro.shape(t(1.0)).numpy().shape == (0,)
+
+
+class TestReshapeTranspose:
+    def test_reshape_static(self):
+        out = repro.reshape(t(X), [4, 6])
+        assert out.shape.as_list() == [4, 6]
+        np.testing.assert_array_equal(out.numpy(), X.reshape(4, 6))
+
+    def test_reshape_minus_one(self):
+        assert repro.reshape(t(X), [-1]).shape.as_list() == [24]
+        assert repro.reshape(t(X), [2, -1]).shape.as_list() == [2, 12]
+
+    def test_reshape_dynamic_shape_tensor(self):
+        out = repro.reshape(t(X), repro.shape(t(np.zeros((6, 4)))))
+        assert out.shape.as_list() == [6, 4]
+
+    def test_transpose_default_reverses(self):
+        np.testing.assert_array_equal(repro.transpose(t(X)).numpy(), X.T)
+
+    def test_transpose_perm(self):
+        np.testing.assert_array_equal(
+            repro.transpose(t(X), [1, 0, 2]).numpy(), np.transpose(X, (1, 0, 2))
+        )
+
+    def test_expand_squeeze(self):
+        e = repro.expand_dims(t(X), 1)
+        assert e.shape.as_list() == [2, 1, 3, 4]
+        s = repro.squeeze(e, axis=1)
+        assert s.shape.as_list() == [2, 3, 4]
+        assert repro.squeeze(e).shape.as_list() == [2, 3, 4]
+
+    def test_expand_dims_negative_axis(self):
+        assert repro.expand_dims(t(X), -1).shape.as_list() == [2, 3, 4, 1]
+
+
+class TestJoining:
+    def test_concat(self):
+        out = repro.concat([t(X), t(X)], axis=1)
+        np.testing.assert_array_equal(out.numpy(), np.concatenate([X, X], axis=1))
+
+    def test_concat_negative_axis(self):
+        out = repro.concat([t(X), t(X)], axis=-1)
+        assert out.shape.as_list() == [2, 3, 8]
+
+    def test_split_equal(self):
+        parts = repro.split(t(X), 3, axis=1)
+        assert len(parts) == 3
+        np.testing.assert_array_equal(parts[1].numpy(), X[:, 1:2])
+
+    def test_split_sizes(self):
+        a, b = repro.split(t(X), [1, 3], axis=2)
+        assert a.shape.as_list() == [2, 3, 1]
+        assert b.shape.as_list() == [2, 3, 3]
+
+    def test_split_uneven_raises(self):
+        with pytest.raises(InvalidArgumentError):
+            repro.split(t(X), 5, axis=1)
+
+    def test_stack_unstack_roundtrip(self):
+        rows = [t(np.float32([1, 2])), t(np.float32([3, 4]))]
+        stacked = repro.stack(rows, axis=0)
+        np.testing.assert_array_equal(stacked.numpy(), [[1, 2], [3, 4]])
+        back = repro.unstack(stacked)
+        assert len(back) == 2
+        np.testing.assert_array_equal(back[1].numpy(), [3, 4])
+
+    def test_stack_axis1(self):
+        rows = [t(np.float32([1, 2])), t(np.float32([3, 4]))]
+        np.testing.assert_array_equal(
+            repro.stack(rows, axis=1).numpy(), [[1, 3], [2, 4]]
+        )
+
+
+class TestGatherPadTile:
+    def test_gather_axis0(self):
+        out = repro.gather(t(X), t(np.array([1, 0, 1])))
+        np.testing.assert_array_equal(out.numpy(), X[[1, 0, 1]])
+
+    def test_gather_axis1(self):
+        out = repro.gather(t(X), t(np.array([2, 2])), axis=1)
+        np.testing.assert_array_equal(out.numpy(), np.take(X, [2, 2], axis=1))
+
+    def test_pad(self):
+        out = repro.pad(t(np.float32([[1, 2]])), [[1, 0], [0, 2]])
+        np.testing.assert_array_equal(out.numpy(), [[0, 0, 0, 0], [1, 2, 0, 0]])
+
+    def test_tile(self):
+        out = repro.tile(t(np.float32([[1, 2]])), [2, 3])
+        assert out.shape.as_list() == [2, 6]
+        np.testing.assert_array_equal(out.numpy(), np.tile([[1, 2]], (2, 3)))
+
+
+class TestFillers:
+    def test_zeros_ones(self):
+        assert repro.zeros([2, 2]).numpy().sum() == 0
+        assert repro.ones([3]).numpy().sum() == 3
+        assert repro.zeros([], dtype=repro.int32).shape.rank == 0
+
+    def test_zeros_like_ones_like(self):
+        x = t(X)
+        np.testing.assert_array_equal(repro.zeros_like(x).numpy(), np.zeros_like(X))
+        np.testing.assert_array_equal(repro.ones_like(x).numpy(), np.ones_like(X))
+        assert repro.zeros_like(t(np.array([1, 2], np.int32))).dtype is repro.int32
+
+    def test_fill_dynamic(self):
+        out = repro.fill(repro.constant(np.array([2, 2], np.int32)), 7.0)
+        np.testing.assert_array_equal(out.numpy(), np.full((2, 2), 7.0, np.float32))
+
+    def test_eye(self):
+        np.testing.assert_array_equal(repro.eye(3).numpy(), np.eye(3, dtype=np.float32))
+
+    def test_diag_roundtrip(self):
+        v = t(np.float32([1, 2, 3]))
+        m = repro.diag(v)
+        np.testing.assert_array_equal(m.numpy(), np.diag([1, 2, 3]))
+        np.testing.assert_array_equal(repro.diag_part(m).numpy(), [1, 2, 3])
+
+    def test_range(self):
+        np.testing.assert_array_equal(repro.range(5).numpy(), np.arange(5))
+        np.testing.assert_array_equal(repro.range(2, 8, 2).numpy(), [2, 4, 6])
+        assert repro.range(0.0, 1.0, 0.25).dtype is repro.float32
+
+    def test_one_hot(self):
+        out = repro.one_hot(t(np.array([0, 2, 9])), depth=3)
+        np.testing.assert_array_equal(
+            out.numpy(), [[1, 0, 0], [0, 0, 1], [0, 0, 0]]
+        )
+
+    def test_broadcast_to(self):
+        out = repro.broadcast_to(t(np.float32([1, 2])), [3, 2])
+        assert out.shape.as_list() == [3, 2]
+        np.testing.assert_array_equal(out.numpy(), np.broadcast_to([1, 2], (3, 2)))
+
+
+class TestWhere:
+    def test_select(self):
+        cond = t(np.array([True, False, True]))
+        out = repro.where(cond, t(np.float32([1, 2, 3])), t(np.float32([9, 9, 9])))
+        np.testing.assert_array_equal(out.numpy(), [1, 9, 3])
+
+    def test_scalar_broadcasting(self):
+        cond = t(np.array([True, False]))
+        out = repro.where(cond, t(np.float32([5, 5])), 0.0)
+        np.testing.assert_array_equal(out.numpy(), [5, 0])
+
+    def test_boolean_mask(self):
+        out = repro.boolean_mask(t(np.float32([1, 2, 3, 4])), t(np.array([True, False, True, False])))
+        np.testing.assert_array_equal(out.numpy(), [1, 3])
+
+
+class TestIdentityStopGradient:
+    def test_identity_values(self):
+        x = t(X)
+        np.testing.assert_array_equal(repro.identity(x).numpy(), X)
+
+    def test_stop_gradient_blocks(self):
+        x = repro.constant(3.0)
+        with repro.GradientTape() as tape:
+            tape.watch(x)
+            y = repro.stop_gradient(x) * x
+        assert float(tape.gradient(y, x)) == 3.0

@@ -1,0 +1,302 @@
+"""cond / while_loop in imperative and staged execution (paper §4.1)."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.framework.errors import InvalidArgumentError, UnimplementedError
+
+
+class TestCondEager:
+    def test_takes_true_branch(self):
+        out = repro.cond(
+            repro.constant(True), lambda: repro.constant(1.0), lambda: repro.constant(2.0)
+        )
+        assert float(out) == 1.0
+
+    def test_takes_false_branch(self):
+        out = repro.cond(
+            repro.constant(False), lambda: repro.constant(1.0), lambda: repro.constant(2.0)
+        )
+        assert float(out) == 2.0
+
+    def test_eager_runs_single_branch(self):
+        ran = []
+        repro.cond(
+            repro.constant(True),
+            lambda: ran.append("t") or repro.constant(0.0),
+            lambda: ran.append("f") or repro.constant(0.0),
+        )
+        assert ran == ["t"]
+
+    def test_eager_gradient_through_cond(self):
+        x = repro.constant(3.0)
+        with repro.GradientTape() as tape:
+            tape.watch(x)
+            y = repro.cond(x > 0.0, lambda: x * x, lambda: -x)
+        assert float(tape.gradient(y, x)) == 6.0
+
+
+class TestCondStaged:
+    def test_data_dependent_branching(self):
+        @repro.function
+        def f(x):
+            return repro.cond(
+                repro.reduce_sum(x) > 0.0, lambda: x * 2.0, lambda: x / 2.0
+            )
+
+        np.testing.assert_allclose(
+            f(repro.constant([1.0, 2.0])).numpy(), [2.0, 4.0]
+        )
+        np.testing.assert_allclose(
+            f(repro.constant([-1.0, -2.0])).numpy(), [-0.5, -1.0]
+        )
+        assert f.trace_count == 1  # one trace handles both branches
+
+    def test_both_branches_staged(self):
+        @repro.function
+        def f(x):
+            return repro.cond(x > 0.0, lambda: x + 1.0, lambda: x - 1.0)
+
+        concrete = f.get_concrete_function(repro.constant(0.0))
+        cond_nodes = concrete.func_graph.ops_by_type("Cond")
+        assert len(cond_nodes) == 1
+        assert cond_nodes[0].attrs["true_fn"].num_nodes > 0
+        assert cond_nodes[0].attrs["false_fn"].num_nodes > 0
+
+    def test_multi_output_structure(self):
+        @repro.function
+        def f(x):
+            return repro.cond(
+                x > 0.0,
+                lambda: {"a": x * 2.0, "b": x + 1.0},
+                lambda: {"a": x / 2.0, "b": x - 1.0},
+            )
+
+        out = f(repro.constant(4.0))
+        assert float(out["a"]) == 8.0
+        assert float(out["b"]) == 5.0
+
+    def test_mismatched_structures_raise(self):
+        @repro.function
+        def f(x):
+            return repro.cond(x > 0.0, lambda: (x, x), lambda: x)
+
+        with pytest.raises(InvalidArgumentError):
+            f(repro.constant(1.0))
+
+    def test_mismatched_dtypes_raise(self):
+        @repro.function
+        def f(x):
+            return repro.cond(
+                x > 0.0, lambda: x, lambda: repro.cast(x, repro.float64)
+            )
+
+        with pytest.raises(InvalidArgumentError):
+            f(repro.constant(1.0))
+
+    def test_staged_cond_gradient(self):
+        @repro.function
+        def f(x):
+            y = repro.cond(
+                repro.reduce_sum(x) > 0.0,
+                lambda: repro.reduce_sum(x * x),
+                lambda: repro.reduce_sum(-x),
+            )
+            return y
+
+        for value, expected in [([2.0, 1.0], [4.0, 2.0]), ([-2.0, -1.0], [-1.0, -1.0])]:
+            x = repro.constant(value)
+            with repro.GradientTape() as tape:
+                tape.watch(x)
+                y = f(x)
+            np.testing.assert_allclose(tape.gradient(y, x).numpy(), expected)
+
+    def test_variable_mutation_in_branch(self):
+        v = repro.Variable(0.0)
+
+        @repro.function
+        def f(x):
+            repro.cond(x > 0.0, lambda: v.assign_add(1.0), lambda: v.assign_sub(1.0))
+            return v.read_value()
+
+        assert float(f(repro.constant(1.0))) == 1.0
+        assert float(f(repro.constant(-1.0))) == 0.0
+
+
+class TestWhileEager:
+    def test_accumulate(self):
+        i, total = repro.while_loop(
+            lambda i, total: i < 5,
+            lambda i, total: (i + 1, total + i),
+            (repro.constant(0), repro.constant(0)),
+        )
+        assert int(i) == 5
+        assert int(total) == 10
+
+    def test_maximum_iterations(self):
+        i, = repro.while_loop(
+            lambda i: i < 100,
+            lambda i: (i + 1,),
+            (repro.constant(0),),
+            maximum_iterations=3,
+        )
+        assert int(i) == 3
+
+    def test_eager_gradient_through_unrolled_loop(self):
+        x = repro.constant(2.0)
+        with repro.GradientTape() as tape:
+            tape.watch(x)
+            y = x
+            i = 0
+            while i < 3:  # plain Python loop: tape records each iteration
+                y = y * x
+                i += 1
+        assert float(tape.gradient(y, x)) == pytest.approx(4 * 2.0 ** 3)
+
+
+class TestWhileStaged:
+    def test_constant_graph_size(self):
+        @repro.function
+        def f(x):
+            _, acc = repro.while_loop(
+                lambda i, acc: i < 10,
+                lambda i, acc: (i + 1, acc + x),
+                (repro.constant(0), repro.zeros_like(x)),
+            )
+            return acc
+
+        concrete = f.get_concrete_function(repro.constant([1.0]))
+        assert len(concrete.func_graph.ops_by_type("While")) == 1
+        np.testing.assert_allclose(f(repro.constant([1.5])).numpy(), [15.0])
+
+    def test_data_dependent_trip_count(self):
+        @repro.function
+        def countdown(n):
+            i, steps = repro.while_loop(
+                lambda i, steps: i > 0,
+                lambda i, steps: (i - 1, steps + 1),
+                (n, repro.constant(0)),
+            )
+            return steps
+
+        assert int(countdown(repro.constant(4))) == 4
+        assert int(countdown(repro.constant(7))) == 7
+        assert countdown.trace_count == 1
+
+    def test_captures_in_cond_and_body(self):
+        limit = repro.constant(6)
+        step = repro.constant(2)
+
+        @repro.function
+        def f(x):
+            out, = repro.while_loop(
+                lambda v: v < limit, lambda v: (v + step,), (x,)
+            )
+            return out
+
+        assert int(f(repro.constant(0))) == 6
+
+    def test_bad_condition_rejected(self):
+        @repro.function
+        def f(x):
+            return repro.while_loop(lambda v: v, lambda v: (v,), (x,))
+
+        with pytest.raises(InvalidArgumentError):
+            f(repro.constant(1.0))
+
+    def test_body_structure_mismatch_rejected(self):
+        @repro.function
+        def f(x):
+            return repro.while_loop(
+                lambda a, b: a < 1.0, lambda a, b: (a,), (x, x)
+            )
+
+        with pytest.raises(InvalidArgumentError):
+            f(repro.constant(0.0))
+
+    def test_staged_while_gradient_power(self):
+        """Reverse mode through While via tensor-list stacks."""
+
+        @repro.function
+        def f(x):
+            _, y = repro.while_loop(
+                lambda i, y: i < 3,
+                lambda i, y: (i + 1, y * x),
+                (repro.constant(0), repro.ones_like(x)),
+            )
+            return repro.reduce_sum(y)
+
+        x = repro.constant([2.0])
+        with repro.GradientTape() as tape:
+            tape.watch(x)
+            y = f(x)
+        np.testing.assert_allclose(tape.gradient(y, x).numpy(), [12.0])  # 3x^2
+
+    def test_staged_while_gradient_wrt_initial_value(self):
+        @repro.function
+        def f(x0):
+            _, acc = repro.while_loop(
+                lambda i, acc: i < 4,
+                lambda i, acc: (i + 1, acc * 0.5),
+                (repro.constant(0), x0),
+            )
+            return repro.reduce_sum(acc)
+
+        x0 = repro.constant([8.0, 16.0])
+        with repro.GradientTape() as tape:
+            tape.watch(x0)
+            out = f(x0)
+        np.testing.assert_allclose(tape.gradient(out, x0).numpy(), [0.0625, 0.0625])
+
+    def test_staged_while_gradient_wrt_captured_variable(self):
+        v = repro.Variable(3.0)
+
+        @repro.function
+        def f(x):
+            _, acc = repro.while_loop(
+                lambda i, acc: i < 2,
+                lambda i, acc: (i + 1, acc * v),
+                (repro.constant(0), x),
+            )
+            return repro.reduce_sum(acc)
+
+        with repro.GradientTape() as tape:
+            out = f(repro.constant([1.0]))
+        assert float(tape.gradient(out, v)) == pytest.approx(6.0)  # d v^2/dv
+
+    def test_staged_while_gradient_dynamic_trip_count(self):
+        @repro.function
+        def f(x, n):
+            _, y = repro.while_loop(
+                lambda i, y: i < n,
+                lambda i, y: (i + 1, y * x),
+                (repro.constant(0), repro.ones_like(x)),
+            )
+            return repro.reduce_sum(y)
+
+        for n, expected in [(2, 6.0), (4, 108.0)]:  # d(x^n)/dx at x=3
+            x = repro.constant([3.0])
+            with repro.GradientTape() as tape:
+                tape.watch(x)
+                out = f(x, repro.constant(n))
+            np.testing.assert_allclose(tape.gradient(out, x).numpy(), [expected])
+        assert f.trace_count <= 2  # trip count is data, not a new trace
+
+    def test_variable_mutation_in_body(self):
+        v = repro.Variable(0.0)
+
+        @repro.function
+        def f():
+            repro.while_loop(
+                lambda i: i < 4,
+                lambda i: (_bump(i),),
+                (repro.constant(0),),
+            )
+            return v.read_value()
+
+        def _bump(i):
+            v.assign_add(10.0)
+            return i + 1
+
+        assert float(f()) == 40.0

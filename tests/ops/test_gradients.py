@@ -1,0 +1,374 @@
+"""Numeric gradient checks for the op set.
+
+Every registered gradient rule is validated against central
+differences through the public tape API, plus hypothesis property
+tests on randomly-shaped inputs for the broadcasting rules (the
+trickiest part of reverse mode).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+import repro
+from repro.ops import nn_ops
+from tests.conftest import numeric_gradient
+
+
+def t64(x):
+    return repro.constant(np.asarray(x, np.float64), dtype=repro.float64)
+
+
+UNARY_CASES = [
+    ("negative", repro.negative, [-1.2, 0.4, 2.0]),
+    ("abs", repro.abs, [-1.2, 0.4, 2.0]),
+    ("exp", repro.exp, [-1.0, 0.0, 1.5]),
+    ("log", repro.log, [0.3, 1.0, 4.0]),
+    ("log1p", repro.log1p, [0.3, 1.0, 4.0]),
+    ("sqrt", repro.sqrt, [0.5, 2.0, 9.0]),
+    ("rsqrt", repro.rsqrt, [0.5, 2.0, 9.0]),
+    ("square", repro.square, [-2.0, 0.5, 3.0]),
+    ("sin", repro.sin, [-1.0, 0.2, 2.0]),
+    ("cos", repro.cos, [-1.0, 0.2, 2.0]),
+    ("tanh", repro.tanh, [-2.0, 0.1, 1.0]),
+    ("sigmoid", repro.sigmoid, [-2.0, 0.1, 1.0]),
+    ("erf", repro.erf, [-1.0, 0.0, 0.7]),
+    ("reciprocal", repro.reciprocal, [0.5, 2.0, -3.0]),
+    ("relu", nn_ops.relu, [-1.5, 0.5, 2.0]),
+    ("softplus", nn_ops.softplus, [-2.0, 0.0, 3.0]),
+    ("elu", nn_ops.elu, [-1.5, 0.5, 2.0]),
+    ("leaky_relu", lambda x: nn_ops.leaky_relu(x, 0.1), [-1.5, 0.5, 2.0]),
+    ("softmax", nn_ops.softmax, [0.5, -1.0, 2.0]),
+    ("log_softmax", nn_ops.log_softmax, [0.5, -1.0, 2.0]),
+    ("cumsum", repro.cumsum, [1.0, -2.0, 0.5]),
+    ("logsumexp", lambda x: repro.reduce_logsumexp(x), [0.1, -0.5, 1.2]),
+]
+
+
+class TestUnaryGradients:
+    @pytest.mark.parametrize("name,fn,x", UNARY_CASES, ids=[c[0] for c in UNARY_CASES])
+    def test_matches_numeric(self, name, fn, x, grad_checker):
+        grad_checker(fn, np.asarray(x))
+
+
+BINARY_CASES = [
+    ("add", repro.add),
+    ("subtract", repro.subtract),
+    ("multiply", repro.multiply),
+    ("divide", repro.divide),
+    ("maximum", repro.maximum),
+    ("minimum", repro.minimum),
+    ("squared_difference", repro.squared_difference),
+]
+
+
+class TestBinaryGradients:
+    @pytest.mark.parametrize("name,fn", BINARY_CASES, ids=[c[0] for c in BINARY_CASES])
+    def test_both_args(self, name, fn):
+        x_np = np.array([[0.7, -1.3], [2.1, 0.4]])
+        y_np = np.array([[1.4, 0.9], [-0.5, 1.8]])
+
+        x, y = t64(x_np), t64(y_np)
+        with repro.GradientTape() as tape:
+            tape.watch(x)
+            tape.watch(y)
+            z = repro.reduce_sum(fn(x, y))
+        gx, gy = tape.gradient(z, [x, y])
+        nx = numeric_gradient(lambda a: repro.reduce_sum(fn(t64(a), t64(y_np))).numpy(), x_np)
+        ny = numeric_gradient(lambda b: repro.reduce_sum(fn(t64(x_np), t64(b))).numpy(), y_np)
+        np.testing.assert_allclose(gx.numpy(), nx, rtol=1e-2, atol=1e-3)
+        np.testing.assert_allclose(gy.numpy(), ny, rtol=1e-2, atol=1e-3)
+
+    def test_pow_gradient(self):
+        x_np = np.array([0.5, 1.5, 2.0])
+        y_np = np.array([2.0, 3.0, 0.5])
+        x, y = t64(x_np), t64(y_np)
+        with repro.GradientTape() as tape:
+            tape.watch(x)
+            tape.watch(y)
+            z = repro.reduce_sum(x ** y)
+        gx, gy = tape.gradient(z, [x, y])
+        np.testing.assert_allclose(gx.numpy(), y_np * x_np ** (y_np - 1), rtol=1e-5)
+        np.testing.assert_allclose(gy.numpy(), (x_np ** y_np) * np.log(x_np), rtol=1e-5)
+
+
+@st.composite
+def _broadcast_pair(draw):
+    base = draw(st.lists(st.integers(1, 3), min_size=1, max_size=3))
+    a = list(base)
+    b = list(base)
+    for i in range(len(base)):
+        which = draw(st.integers(0, 2))
+        if which == 1:
+            a[i] = 1
+        elif which == 2:
+            b[i] = 1
+    drop = draw(st.integers(0, min(1, len(b) - 1)))
+    return tuple(a), tuple(b[drop:])
+
+
+class TestBroadcastGradientProperties:
+    """The broadcasting reduction in binary gradients is shape-correct
+    and mass-preserving for any broadcastable operand shapes."""
+
+    @settings(max_examples=40, deadline=None)
+    @given(_broadcast_pair())
+    def test_add_grad_shapes_and_values(self, shapes):
+        sa, sb = shapes
+        x_np = np.random.randn(*sa)
+        y_np = np.random.randn(*sb)
+        x, y = t64(x_np), t64(y_np)
+        with repro.GradientTape() as tape:
+            tape.watch(x)
+            tape.watch(y)
+            z = repro.reduce_sum(x + y)
+        gx, gy = tape.gradient(z, [x, y])
+        assert gx.shape.as_tuple() == sa
+        assert gy.shape.as_tuple() == sb
+        # d(sum(x+y))/dx_i == 1 and the total equals broadcast multiplicity.
+        total = np.prod(np.broadcast_shapes(sa, sb))
+        assert gx.numpy().sum() == pytest.approx(total)
+        assert gy.numpy().sum() == pytest.approx(total)
+
+    @settings(max_examples=40, deadline=None)
+    @given(_broadcast_pair())
+    def test_mul_grad_matches_other_operand(self, shapes):
+        sa, sb = shapes
+        x_np = np.random.randn(*sa)
+        y_np = np.random.randn(*sb)
+        x, y = t64(x_np), t64(y_np)
+        with repro.GradientTape() as tape:
+            tape.watch(x)
+            z = repro.reduce_sum(x * y)
+        gx = tape.gradient(z, x)
+        expected = np.broadcast_to(y_np, np.broadcast_shapes(sa, sb))
+        expected = expected.sum(
+            axis=tuple(range(expected.ndim - len(sa)))
+        ).reshape(np.broadcast_shapes(sa, sb)[len(np.broadcast_shapes(sa, sb)) - len(sa):])
+        # Reduce the broadcast of y back onto x's shape by summing.
+        full = np.broadcast_shapes(sa, sb)
+        yb = np.broadcast_to(y_np, full)
+        extra = len(full) - len(sa)
+        red = yb.sum(axis=tuple(range(extra))) if extra else yb
+        for i, d in enumerate(sa):
+            if d == 1 and red.shape[i] != 1:
+                red = red.sum(axis=i, keepdims=True)
+        np.testing.assert_allclose(gx.numpy(), red, rtol=1e-6)
+
+
+class TestShapeOpGradients:
+    def test_reshape(self, grad_checker):
+        grad_checker(lambda x: repro.reshape(x, [3, 2]) * 2.0, np.random.randn(2, 3))
+
+    def test_transpose(self, grad_checker):
+        grad_checker(lambda x: repro.transpose(x) ** 2.0, np.random.randn(2, 3) + 2.0)
+
+    def test_concat_split(self):
+        x_np, y_np = np.random.randn(2, 2), np.random.randn(2, 3)
+        x, y = t64(x_np), t64(y_np)
+        with repro.GradientTape() as tape:
+            tape.watch(x)
+            tape.watch(y)
+            joined = repro.concat([x, y], axis=1)
+            a, b = repro.split(joined, [3, 2], axis=1)
+            z = repro.reduce_sum(a * 2.0) + repro.reduce_sum(b * 3.0)
+        gx, gy = tape.gradient(z, [x, y])
+        np.testing.assert_allclose(gx.numpy(), [[2, 2], [2, 2]])
+        np.testing.assert_allclose(gy.numpy(), [[2, 3, 3], [2, 3, 3]])
+
+    def test_stack_unstack(self):
+        x = t64([1.0, 2.0])
+        with repro.GradientTape() as tape:
+            tape.watch(x)
+            s = repro.stack([x, x * 2.0], axis=0)
+            z = repro.reduce_sum(s)
+        np.testing.assert_allclose(tape.gradient(z, x).numpy(), [3.0, 3.0])
+
+    def test_gather(self):
+        x = t64([1.0, 2.0, 3.0])
+        with repro.GradientTape() as tape:
+            tape.watch(x)
+            z = repro.reduce_sum(repro.gather(x, repro.constant(np.array([0, 0, 2]))))
+        np.testing.assert_allclose(tape.gradient(z, x).numpy(), [2.0, 0.0, 1.0])
+
+    def test_strided_slice(self, grad_checker):
+        grad_checker(lambda x: x[1:, ::2] * 3.0, np.random.randn(3, 4))
+
+    def test_pad(self, grad_checker):
+        grad_checker(lambda x: repro.pad(x, [[1, 1], [0, 2]]) * 2.0, np.random.randn(2, 2))
+
+    def test_tile(self, grad_checker):
+        grad_checker(lambda x: repro.tile(x, [2, 3]), np.random.randn(2, 2))
+
+    def test_broadcast_to(self, grad_checker):
+        grad_checker(lambda x: repro.broadcast_to(x, [4, 3]), np.random.randn(1, 3))
+
+    def test_diag(self, grad_checker):
+        grad_checker(lambda x: repro.diag(x) * 2.0, np.random.randn(3))
+
+    def test_where(self):
+        cond = repro.constant(np.array([True, False, True]))
+        x, y = t64([1.0, 2.0, 3.0]), t64([4.0, 5.0, 6.0])
+        with repro.GradientTape() as tape:
+            tape.watch(x)
+            tape.watch(y)
+            z = repro.reduce_sum(repro.where(cond, x, y))
+        gx, gy = tape.gradient(z, [x, y])
+        np.testing.assert_allclose(gx.numpy(), [1.0, 0.0, 1.0])
+        np.testing.assert_allclose(gy.numpy(), [0.0, 1.0, 0.0])
+
+
+class TestReductionGradients:
+    @pytest.mark.parametrize("axis", [None, 0, 1, (0, 1)])
+    @pytest.mark.parametrize("keepdims", [False, True])
+    def test_sum(self, axis, keepdims, grad_checker):
+        grad_checker(
+            lambda x: repro.reduce_sum(x, axis=axis, keepdims=keepdims) * 2.0,
+            np.random.randn(2, 3),
+        )
+
+    @pytest.mark.parametrize("axis", [None, 0, 1])
+    def test_mean(self, axis, grad_checker):
+        grad_checker(
+            lambda x: repro.reduce_mean(x, axis=axis) ** 2.0,
+            np.random.randn(2, 3) + 3.0,
+        )
+
+    def test_max_routes_to_argmax(self):
+        x = t64([1.0, 5.0, 3.0])
+        with repro.GradientTape() as tape:
+            tape.watch(x)
+            z = repro.reduce_max(x)
+        np.testing.assert_allclose(tape.gradient(z, x).numpy(), [0, 1, 0])
+
+    def test_max_splits_ties(self):
+        x = t64([5.0, 5.0, 3.0])
+        with repro.GradientTape() as tape:
+            tape.watch(x)
+            z = repro.reduce_max(x)
+        np.testing.assert_allclose(tape.gradient(z, x).numpy(), [0.5, 0.5, 0])
+
+    def test_prod(self, grad_checker):
+        grad_checker(lambda x: repro.reduce_prod(x, axis=0), np.random.rand(3, 2) + 0.5)
+
+
+class TestMatMulGradients:
+    @pytest.mark.parametrize("ta", [False, True])
+    @pytest.mark.parametrize("tb", [False, True])
+    def test_all_transpose_combos(self, ta, tb):
+        a_np = np.random.randn(2, 3) if not ta else np.random.randn(3, 2)
+        b_np = np.random.randn(3, 4) if not tb else np.random.randn(4, 3)
+        a, b = t64(a_np), t64(b_np)
+        with repro.GradientTape() as tape:
+            tape.watch(a)
+            tape.watch(b)
+            z = repro.reduce_sum(repro.matmul(a, b, transpose_a=ta, transpose_b=tb))
+        ga, gb = tape.gradient(z, [a, b])
+        na = numeric_gradient(
+            lambda m: repro.reduce_sum(
+                repro.matmul(t64(m), t64(b_np), transpose_a=ta, transpose_b=tb)
+            ).numpy(),
+            a_np,
+        )
+        nb = numeric_gradient(
+            lambda m: repro.reduce_sum(
+                repro.matmul(t64(a_np), t64(m), transpose_a=ta, transpose_b=tb)
+            ).numpy(),
+            b_np,
+        )
+        np.testing.assert_allclose(ga.numpy(), na, rtol=1e-3, atol=1e-4)
+        np.testing.assert_allclose(gb.numpy(), nb, rtol=1e-3, atol=1e-4)
+
+    def test_batched_matmul_grad(self, grad_checker):
+        b_np = np.random.randn(2, 3, 4)
+
+        def fn(x):
+            return repro.matmul(x, t64(b_np))
+
+        grad_checker(fn, np.random.randn(2, 2, 3))
+
+
+class TestNNGradients:
+    def test_conv2d(self, grad_checker):
+        w = np.random.randn(2, 2, 2, 3)
+        grad_checker(
+            lambda x: nn_ops.conv2d(x, t64(w), strides=1, padding="VALID"),
+            np.random.randn(1, 4, 4, 2),
+            rtol=2e-2,
+        )
+
+    def test_conv2d_filter_grad(self, grad_checker):
+        x = np.random.randn(1, 4, 4, 2)
+        grad_checker(
+            lambda w: nn_ops.conv2d(t64(x), w, strides=2, padding="SAME"),
+            np.random.randn(3, 3, 2, 2),
+            rtol=2e-2,
+        )
+
+    def test_max_pool(self, grad_checker):
+        grad_checker(
+            lambda x: nn_ops.max_pool2d(x, 2),
+            np.random.randn(1, 4, 4, 2) * 3,
+            rtol=2e-2,
+        )
+
+    def test_avg_pool(self, grad_checker):
+        grad_checker(
+            lambda x: nn_ops.avg_pool2d(x, 2), np.random.randn(1, 4, 4, 2), rtol=2e-2
+        )
+
+    def test_softmax_xent(self):
+        logits_np = np.random.randn(4, 3)
+        labels = np.eye(3)[np.array([0, 2, 1, 1])]
+        x = t64(logits_np)
+        with repro.GradientTape() as tape:
+            tape.watch(x)
+            loss = repro.reduce_sum(
+                nn_ops.softmax_cross_entropy_with_logits(labels=t64(labels), logits=x)
+            )
+        analytic = tape.gradient(loss, x).numpy()
+        numeric = numeric_gradient(
+            lambda a: repro.reduce_sum(
+                nn_ops.softmax_cross_entropy_with_logits(labels=t64(labels), logits=t64(a))
+            ).numpy(),
+            logits_np,
+        )
+        np.testing.assert_allclose(analytic, numeric, rtol=1e-2, atol=1e-4)
+
+
+class TestChainedGradients:
+    def test_deep_chain(self, grad_checker):
+        grad_checker(
+            lambda x: repro.tanh(repro.exp(x * 0.3) + repro.square(x)),
+            np.random.randn(4),
+        )
+
+    def test_fan_out_accumulates(self):
+        x = t64(2.0)
+        with repro.GradientTape() as tape:
+            tape.watch(x)
+            y = x * x + x * 3.0 + repro.square(x)
+        assert float(tape.gradient(y, x)) == pytest.approx(2 * 2.0 + 3.0 + 2 * 2.0)
+
+    def test_clip_gradient_masks(self):
+        x = t64([-5.0, 0.0, 5.0])
+        with repro.GradientTape() as tape:
+            tape.watch(x)
+            y = repro.reduce_sum(repro.clip_by_value(x, -1.0, 1.0))
+        np.testing.assert_allclose(tape.gradient(y, x).numpy(), [0.0, 1.0, 0.0])
+
+    def test_cast_float_to_float_passes_grad(self):
+        x = t64([1.0, 2.0])
+        with repro.GradientTape() as tape:
+            tape.watch(x)
+            y = repro.reduce_sum(repro.cast(x, repro.float32))
+        g = tape.gradient(y, x)
+        assert g.dtype is repro.float64
+        np.testing.assert_allclose(g.numpy(), [1.0, 1.0])
+
+    def test_int_cast_stops_grad(self):
+        x = t64([1.5])
+        with repro.GradientTape() as tape:
+            tape.watch(x)
+            y = repro.cast(repro.cast(x, repro.int32), repro.float64)
+        assert tape.gradient(y, x) is None

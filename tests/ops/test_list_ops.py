@@ -1,0 +1,71 @@
+"""Tensor lists (variant tensors)."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.framework import dtypes
+from repro.framework.errors import OutOfRangeError
+from repro.ops import list_ops
+
+
+class TestTensorList:
+    def test_empty_list(self):
+        handle = list_ops.empty_tensor_list()
+        assert handle.dtype is dtypes.variant
+        assert int(list_ops.tensor_list_length(handle)) == 0
+
+    def test_push_pop(self):
+        handle = list_ops.empty_tensor_list()
+        handle = list_ops.tensor_list_push_back(handle, repro.constant([1.0]))
+        handle = list_ops.tensor_list_push_back(handle, repro.constant([2.0]))
+        assert int(list_ops.tensor_list_length(handle)) == 2
+        handle, last = list_ops.tensor_list_pop_back(handle, repro.float32)
+        np.testing.assert_allclose(last.numpy(), [2.0])
+        assert int(list_ops.tensor_list_length(handle)) == 1
+
+    def test_push_is_functional(self):
+        base = list_ops.empty_tensor_list()
+        a = list_ops.tensor_list_push_back(base, repro.constant(1.0))
+        b = list_ops.tensor_list_push_back(base, repro.constant(2.0))
+        assert int(list_ops.tensor_list_length(base)) == 0
+        assert int(list_ops.tensor_list_length(a)) == 1
+        assert int(list_ops.tensor_list_length(b)) == 1
+
+    def test_stack(self):
+        handle = list_ops.empty_tensor_list()
+        for v in (1.0, 2.0, 3.0):
+            handle = list_ops.tensor_list_push_back(handle, repro.constant([v, v]))
+        stacked = list_ops.tensor_list_stack(handle, repro.float32)
+        assert stacked.shape.as_list() == [3, 2]
+        np.testing.assert_allclose(stacked.numpy()[:, 0], [1.0, 2.0, 3.0])
+
+    def test_stack_empty(self):
+        handle = list_ops.empty_tensor_list()
+        out = list_ops.tensor_list_stack(handle, repro.float32, element_shape=(2,))
+        assert out.shape.as_list() == [0, 2]
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(OutOfRangeError):
+            list_ops.tensor_list_pop_back(list_ops.empty_tensor_list(), repro.float32)
+
+    def test_usable_inside_staged_function(self):
+        @repro.function
+        def f(x):
+            handle = list_ops.empty_tensor_list()
+            handle = list_ops.tensor_list_push_back(handle, x)
+            handle = list_ops.tensor_list_push_back(handle, x * 2.0)
+            return list_ops.tensor_list_stack(handle, repro.float32)
+
+        out = f(repro.constant([1.0, 2.0]))
+        np.testing.assert_allclose(out.numpy(), [[1.0, 2.0], [2.0, 4.0]])
+
+    def test_gradient_through_push_pop(self):
+        x = repro.constant([3.0])
+        with repro.GradientTape() as tape:
+            tape.watch(x)
+            handle = list_ops.empty_tensor_list()
+            handle = list_ops.tensor_list_push_back(handle, x * 2.0)
+            _, popped = list_ops.tensor_list_pop_back(handle, repro.float32)
+            y = repro.reduce_sum(popped * 5.0)
+        assert float(tape.gradient(y, x)) == pytest.approx(10.0)

@@ -1,0 +1,220 @@
+"""Math op correctness against NumPy references."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.framework.errors import InvalidArgumentError
+
+A = np.array([[1.0, -2.0], [3.5, 4.0]], dtype=np.float32)
+B = np.array([[0.5, 2.0], [-1.0, 3.0]], dtype=np.float32)
+
+
+def t(x):
+    return repro.constant(x)
+
+
+ELEMENTWISE_BINARY = [
+    (repro.add, np.add),
+    (repro.subtract, np.subtract),
+    (repro.multiply, np.multiply),
+    (repro.divide, np.true_divide),
+    (repro.maximum, np.maximum),
+    (repro.minimum, np.minimum),
+    (repro.squared_difference, lambda a, b: np.square(a - b)),
+    (repro.pow, np.power),
+]
+
+ELEMENTWISE_UNARY = [
+    (repro.negative, np.negative),
+    (repro.abs, np.abs),
+    (repro.exp, np.exp),
+    (repro.square, np.square),
+    (repro.sign, np.sign),
+    (repro.sin, np.sin),
+    (repro.cos, np.cos),
+    (repro.tanh, np.tanh),
+    (repro.floor, np.floor),
+    (repro.ceil, np.ceil),
+    (repro.round, np.round),
+    (repro.reciprocal, np.reciprocal),
+]
+
+
+class TestElementwise:
+    @pytest.mark.parametrize("fn,ref", ELEMENTWISE_BINARY, ids=lambda f: getattr(f, "__name__", "ref"))
+    def test_binary_matches_numpy(self, fn, ref):
+        expected = ref(np.abs(A) + 0.5, np.abs(B) + 0.5)
+        got = fn(t(np.abs(A) + 0.5), t(np.abs(B) + 0.5)).numpy()
+        np.testing.assert_allclose(got, expected, rtol=1e-6)
+
+    @pytest.mark.parametrize("fn,ref", ELEMENTWISE_UNARY, ids=lambda f: getattr(f, "__name__", "ref"))
+    def test_unary_matches_numpy(self, fn, ref):
+        np.testing.assert_allclose(fn(t(A)).numpy(), ref(A), rtol=1e-6)
+
+    def test_log_family(self):
+        x = np.abs(A) + 0.1
+        np.testing.assert_allclose(repro.log(t(x)).numpy(), np.log(x), rtol=1e-6)
+        np.testing.assert_allclose(repro.log1p(t(x)).numpy(), np.log1p(x), rtol=1e-6)
+        np.testing.assert_allclose(repro.sqrt(t(x)).numpy(), np.sqrt(x), rtol=1e-6)
+        np.testing.assert_allclose(
+            repro.rsqrt(t(x)).numpy(), 1.0 / np.sqrt(x), rtol=1e-6
+        )
+
+    def test_sigmoid_stable_at_extremes(self):
+        x = t(np.array([-1000.0, 0.0, 1000.0], np.float32))
+        out = repro.sigmoid(x).numpy()
+        np.testing.assert_allclose(out, [0.0, 0.5, 1.0], atol=1e-7)
+
+    def test_erf(self):
+        from scipy.special import erf as scipy_erf
+
+        np.testing.assert_allclose(repro.erf(t(A)).numpy(), scipy_erf(A), rtol=1e-5)
+
+    def test_broadcasting(self):
+        x = t(np.ones((2, 3), np.float32))
+        y = t(np.arange(3, dtype=np.float32))
+        np.testing.assert_allclose((x + y).numpy(), 1.0 + np.arange(3) * np.ones((2, 3)))
+
+    def test_clip_by_value(self):
+        x = t(np.array([-5.0, 0.5, 5.0], np.float32))
+        np.testing.assert_allclose(
+            repro.clip_by_value(x, -1.0, 1.0).numpy(), [-1.0, 0.5, 1.0]
+        )
+
+    def test_cast(self):
+        x = repro.cast(t(np.array([1.7, -2.3], np.float32)), repro.int32)
+        assert x.dtype is repro.int32
+        np.testing.assert_array_equal(x.numpy(), [1, -2])
+
+    def test_cast_same_dtype_is_identity(self):
+        x = t(A)
+        assert repro.cast(x, repro.float32) is x
+
+
+class TestMatMul:
+    def test_2d(self):
+        np.testing.assert_allclose(repro.matmul(t(A), t(B)).numpy(), A @ B, rtol=1e-6)
+
+    def test_transpose_flags(self):
+        np.testing.assert_allclose(
+            repro.matmul(t(A), t(B), transpose_a=True).numpy(), A.T @ B, rtol=1e-6
+        )
+        np.testing.assert_allclose(
+            repro.matmul(t(A), t(B), transpose_b=True).numpy(), A @ B.T, rtol=1e-6
+        )
+        np.testing.assert_allclose(
+            repro.matmul(t(A), t(B), transpose_a=True, transpose_b=True).numpy(),
+            A.T @ B.T,
+            rtol=1e-6,
+        )
+
+    def test_batched(self):
+        a = np.random.randn(4, 2, 3).astype(np.float32)
+        b = np.random.randn(4, 3, 5).astype(np.float32)
+        np.testing.assert_allclose(
+            repro.matmul(t(a), t(b)).numpy(), a @ b, rtol=1e-5
+        )
+
+    def test_mismatched_inner_dims_raise(self):
+        with pytest.raises(Exception):
+            repro.matmul(t(np.zeros((2, 3), np.float32)), t(np.zeros((2, 3), np.float32)))
+
+    def test_mixed_dtypes_raise(self):
+        with pytest.raises(InvalidArgumentError):
+            repro.matmul(t(A), t(B.astype(np.float64)))
+
+
+class TestReductions:
+    @pytest.mark.parametrize(
+        "fn,ref",
+        [
+            (repro.reduce_sum, np.sum),
+            (repro.reduce_mean, np.mean),
+            (repro.reduce_max, np.max),
+            (repro.reduce_min, np.min),
+            (repro.reduce_prod, np.prod),
+        ],
+    )
+    @pytest.mark.parametrize("axis", [None, 0, 1, (0, 1), -1])
+    @pytest.mark.parametrize("keepdims", [False, True])
+    def test_matches_numpy(self, fn, ref, axis, keepdims):
+        got = fn(t(A), axis=axis, keepdims=keepdims).numpy()
+        expected = ref(A, axis=axis, keepdims=keepdims)
+        np.testing.assert_allclose(got, expected, rtol=1e-6)
+
+    def test_int_sum_keeps_dtype(self):
+        x = t(np.array([1, 2, 3], np.int32))
+        out = repro.reduce_sum(x)
+        assert out.dtype is repro.int32
+        assert int(out) == 6
+
+    def test_reduce_any_all(self):
+        x = t(np.array([[True, False], [True, True]]))
+        assert bool(repro.reduce_any(x)) is True
+        assert bool(repro.reduce_all(x)) is False
+        np.testing.assert_array_equal(
+            repro.reduce_all(x, axis=1).numpy(), [False, True]
+        )
+
+    def test_logsumexp_stable(self):
+        x = t(np.array([1000.0, 1000.0], np.float32))
+        assert np.isfinite(float(repro.reduce_logsumexp(x)))
+        small = np.array([0.5, 1.5, -1.0])
+        np.testing.assert_allclose(
+            float(repro.reduce_logsumexp(t(small.astype(np.float32)))),
+            np.log(np.sum(np.exp(small))),
+            rtol=1e-5,
+        )
+
+    def test_duplicate_axes_raise(self):
+        with pytest.raises(InvalidArgumentError):
+            repro.reduce_sum(t(A), axis=(0, 0))
+
+
+class TestArgReductions:
+    def test_argmax_argmin(self):
+        x = t(np.array([[1.0, 9.0, 3.0], [7.0, 2.0, 5.0]], np.float32))
+        np.testing.assert_array_equal(repro.argmax(x, axis=1).numpy(), [1, 0])
+        np.testing.assert_array_equal(repro.argmin(x, axis=0).numpy(), [0, 1, 0])
+        assert repro.argmax(x, axis=1).dtype is repro.int64
+
+
+class TestCumsum:
+    def test_basic(self):
+        x = t(np.array([1.0, 2.0, 3.0], np.float32))
+        np.testing.assert_allclose(repro.cumsum(x).numpy(), [1.0, 3.0, 6.0])
+
+    def test_reverse(self):
+        x = t(np.array([1.0, 2.0, 3.0], np.float32))
+        np.testing.assert_allclose(
+            repro.cumsum(x, reverse=True).numpy(), [6.0, 5.0, 3.0]
+        )
+
+
+class TestAddN:
+    def test_add_n(self):
+        parts = [t(A), t(B), t(A)]
+        np.testing.assert_allclose(repro.add_n(parts).numpy(), A + B + A, rtol=1e-6)
+
+    def test_single_passthrough(self):
+        x = t(A)
+        assert repro.add_n([x]) is x
+
+    def test_empty_raises(self):
+        with pytest.raises(InvalidArgumentError):
+            repro.add_n([])
+
+
+class TestTensordot:
+    def test_matrix_contraction(self):
+        got = repro.tensordot(t(A), t(B), axes=1).numpy()
+        np.testing.assert_allclose(got, np.tensordot(A, B, axes=1), rtol=1e-5)
+
+    def test_explicit_axes(self):
+        a = np.random.randn(2, 3, 4).astype(np.float32)
+        b = np.random.randn(4, 3, 5).astype(np.float32)
+        got = repro.tensordot(t(a), t(b), axes=([1, 2], [1, 0])).numpy()
+        np.testing.assert_allclose(
+            got, np.tensordot(a, b, axes=([1, 2], [1, 0])), rtol=1e-4, atol=1e-5
+        )

@@ -1,0 +1,181 @@
+"""Neural-net op correctness against naive references."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.ops import nn_ops
+
+
+def t(x):
+    return repro.constant(x)
+
+
+def naive_conv2d(x, w, stride, padding):
+    """Direct-loop reference convolution (NHWC / HWIO)."""
+    n, h, wd, cin = x.shape
+    kh, kw, _, cout = w.shape
+    if padding == "SAME":
+        oh = -(-h // stride)
+        ow = -(-wd // stride)
+        ph = max((oh - 1) * stride + kh - h, 0)
+        pw = max((ow - 1) * stride + kw - wd, 0)
+        x = np.pad(x, ((0, 0), (ph // 2, ph - ph // 2), (pw // 2, pw - pw // 2), (0, 0)))
+    else:
+        oh = (h - kh) // stride + 1
+        ow = (wd - kw) // stride + 1
+    out = np.zeros((n, oh, ow, cout), dtype=x.dtype)
+    for i in range(oh):
+        for j in range(ow):
+            patch = x[:, i * stride : i * stride + kh, j * stride : j * stride + kw, :]
+            out[:, i, j, :] = np.tensordot(patch, w, axes=([1, 2, 3], [0, 1, 2]))
+    return out
+
+
+class TestActivations:
+    def test_relu(self):
+        x = t(np.float32([-1, 0, 2]))
+        np.testing.assert_array_equal(nn_ops.relu(x).numpy(), [0, 0, 2])
+
+    def test_leaky_relu(self):
+        x = t(np.float32([-2, 4]))
+        np.testing.assert_allclose(nn_ops.leaky_relu(x, 0.1).numpy(), [-0.2, 4])
+
+    def test_softplus_matches_reference(self):
+        x = np.float32([-30, -1, 0, 1, 30])
+        np.testing.assert_allclose(
+            nn_ops.softplus(t(x)).numpy(), np.logaddexp(0, x), rtol=1e-6
+        )
+
+    def test_elu(self):
+        x = t(np.float32([-1, 2]))
+        np.testing.assert_allclose(
+            nn_ops.elu(x).numpy(), [np.expm1(-1), 2], rtol=1e-6
+        )
+
+    def test_softmax_rows_sum_to_one(self):
+        x = t(np.random.randn(4, 7).astype(np.float32))
+        s = nn_ops.softmax(x).numpy()
+        np.testing.assert_allclose(s.sum(axis=-1), np.ones(4), rtol=1e-6)
+        assert (s >= 0).all()
+
+    def test_log_softmax_consistent(self):
+        x = np.random.randn(3, 5).astype(np.float32)
+        np.testing.assert_allclose(
+            nn_ops.log_softmax(t(x)).numpy(),
+            np.log(nn_ops.softmax(t(x)).numpy()),
+            rtol=1e-5,
+            atol=1e-6,
+        )
+
+
+class TestCrossEntropy:
+    def test_softmax_xent_matches_manual(self):
+        logits = np.random.randn(6, 4).astype(np.float32)
+        labels = np.eye(4, dtype=np.float32)[np.random.randint(0, 4, 6)]
+        loss = nn_ops.softmax_cross_entropy_with_logits(
+            labels=t(labels), logits=t(logits)
+        ).numpy()
+        shifted = logits - logits.max(axis=1, keepdims=True)
+        log_probs = shifted - np.log(np.exp(shifted).sum(axis=1, keepdims=True))
+        np.testing.assert_allclose(loss, -(labels * log_probs).sum(axis=1), rtol=1e-5)
+
+    def test_sparse_equals_dense(self):
+        logits = np.random.randn(5, 3).astype(np.float32)
+        labels = np.array([0, 2, 1, 1, 0])
+        dense = nn_ops.softmax_cross_entropy_with_logits(
+            labels=t(np.eye(3, dtype=np.float32)[labels]), logits=t(logits)
+        )
+        sparse = nn_ops.sparse_softmax_cross_entropy_with_logits(
+            labels=t(labels), logits=t(logits)
+        )
+        np.testing.assert_allclose(sparse.numpy(), dense.numpy(), rtol=1e-6)
+
+    def test_sigmoid_xent_stable(self):
+        logits = np.float32([-100.0, 0.0, 100.0])
+        labels = np.float32([0.0, 0.5, 1.0])
+        out = nn_ops.sigmoid_cross_entropy_with_logits(
+            labels=t(labels), logits=t(logits)
+        ).numpy()
+        assert np.isfinite(out).all()
+        assert out[1] == pytest.approx(np.log(2), rel=1e-5)
+
+
+class TestConv2D:
+    @pytest.mark.parametrize("padding", ["VALID", "SAME"])
+    @pytest.mark.parametrize("stride", [1, 2])
+    def test_matches_naive(self, padding, stride):
+        x = np.random.randn(2, 6, 5, 3).astype(np.float32)
+        w = np.random.randn(3, 2, 3, 4).astype(np.float32)
+        got = nn_ops.conv2d(t(x), t(w), strides=stride, padding=padding).numpy()
+        np.testing.assert_allclose(
+            got, naive_conv2d(x, w, stride, padding), rtol=1e-4, atol=1e-5
+        )
+
+    def test_output_shape_inference_same(self):
+        x = np.zeros((1, 7, 7, 2), np.float32)
+        w = np.zeros((3, 3, 2, 8), np.float32)
+        out = nn_ops.conv2d(t(x), t(w), strides=2, padding="SAME")
+        assert out.shape.as_list() == [1, 4, 4, 8]
+
+    def test_bad_padding_raises(self):
+        with pytest.raises(Exception):
+            nn_ops.conv2d(
+                t(np.zeros((1, 4, 4, 1), np.float32)),
+                t(np.zeros((2, 2, 1, 1), np.float32)),
+                padding="WEIRD",
+            )
+
+
+class TestPooling:
+    def test_max_pool_values(self):
+        x = np.arange(16, dtype=np.float32).reshape(1, 4, 4, 1)
+        out = nn_ops.max_pool2d(t(x), 2).numpy()
+        np.testing.assert_array_equal(out[0, :, :, 0], [[5, 7], [13, 15]])
+
+    def test_avg_pool_values(self):
+        x = np.arange(16, dtype=np.float32).reshape(1, 4, 4, 1)
+        out = nn_ops.avg_pool2d(t(x), 2).numpy()
+        np.testing.assert_allclose(out[0, :, :, 0], [[2.5, 4.5], [10.5, 12.5]])
+
+    def test_same_padding_shape(self):
+        x = np.zeros((1, 5, 5, 2), np.float32)
+        out = nn_ops.max_pool2d(t(x), 3, strides=2, padding="SAME")
+        assert out.shape.as_list() == [1, 3, 3, 2]
+
+
+class TestComposites:
+    def test_bias_add(self):
+        x = np.random.randn(2, 3).astype(np.float32)
+        b = np.float32([1, 2, 3])
+        np.testing.assert_allclose(nn_ops.bias_add(t(x), t(b)).numpy(), x + b)
+
+    def test_dropout_zero_rate_is_identity(self):
+        x = t(np.ones((4, 4), np.float32))
+        assert nn_ops.dropout(x, 0.0) is x
+
+    def test_dropout_scales_survivors(self):
+        x = t(np.ones((2000,), np.float32))
+        out = nn_ops.dropout(x, 0.5).numpy()
+        kept = out != 0
+        assert 0.35 < kept.mean() < 0.65
+        np.testing.assert_allclose(out[kept], 2.0, rtol=1e-6)
+
+    def test_moments(self):
+        x = np.random.randn(50, 3).astype(np.float32)
+        mean, var = nn_ops.moments(t(x), axes=(0,))
+        np.testing.assert_allclose(mean.numpy(), x.mean(0), rtol=1e-4, atol=1e-5)
+        np.testing.assert_allclose(var.numpy(), x.var(0), rtol=1e-3, atol=1e-5)
+
+    def test_batch_normalization_normalizes(self):
+        x = np.random.randn(200, 4).astype(np.float32) * 3 + 5
+        mean, var = nn_ops.moments(t(x), axes=(0,))
+        out = nn_ops.batch_normalization(
+            t(x), mean, var, offset=None, scale=None, variance_epsilon=0.0
+        ).numpy()
+        np.testing.assert_allclose(out.mean(0), np.zeros(4), atol=1e-4)
+        np.testing.assert_allclose(out.std(0), np.ones(4), atol=1e-3)
+
+    def test_l2_loss(self):
+        x = np.float32([3.0, 4.0])
+        assert float(nn_ops.l2_loss(t(x))) == pytest.approx(12.5)

@@ -1,0 +1,122 @@
+"""py_func: embedding imperative code in graphs (paper §4.7)."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.framework.errors import InvalidArgumentError
+
+
+class TestEager:
+    def test_basic_call(self):
+        out = repro.py_func(
+            lambda a, b: a.numpy() + b.numpy(),
+            [repro.constant([1.0]), repro.constant([2.0])],
+            Tout=repro.float32,
+        )
+        np.testing.assert_allclose(out.numpy(), [3.0])
+
+    def test_multiple_outputs(self):
+        a, b = repro.py_func(
+            lambda x: (x.numpy() * 2, x.numpy() * 3),
+            [repro.constant([1.0])],
+            Tout=[repro.float32, repro.float32],
+        )
+        assert float(a[0]) == 2.0
+        assert float(b[0]) == 3.0
+
+    def test_wrong_arity_raises(self):
+        with pytest.raises(InvalidArgumentError):
+            repro.py_func(
+                lambda x: (x, x),
+                [repro.constant(1.0)],
+                Tout=[repro.float32, repro.float32, repro.float32],
+            )
+
+    def test_differentiable(self):
+        """py_func executes under a tape, so it is differentiable (§4.7)."""
+
+        def cube(x):
+            return x * x * x  # uses library ops on the passed tensors
+
+        x = repro.constant(2.0)
+        with repro.GradientTape() as tape:
+            tape.watch(x)
+            y = repro.py_func(cube, [x], Tout=repro.float32)
+        assert float(tape.gradient(y, x)) == pytest.approx(12.0)
+
+    def test_arbitrary_python_inside(self):
+        def data_dependent(x):
+            # Recursion and Python control flow on concrete values.
+            def collatz_steps(n):
+                return 0 if n <= 1 else 1 + collatz_steps(n // 2 if n % 2 == 0 else 3 * n + 1)
+
+            return np.int32(collatz_steps(int(x)))
+
+        out = repro.py_func(data_dependent, [repro.constant(6)], Tout=repro.int32)
+        assert int(out) == 8
+
+
+class TestStaged:
+    def test_runs_inside_graph_function(self):
+        """Wrapping in py_func keeps imperative semantics when staged."""
+        log = []
+
+        @repro.function
+        def f(x):
+            doubled = repro.py_func(
+                lambda v: (log.append(1), v.numpy() * 2)[1], [x], Tout=repro.float32
+            )
+            return doubled + 1.0
+
+        assert float(f(repro.constant(2.0))) == 5.0
+        assert float(f(repro.constant(3.0))) == 7.0
+        # Tracing only *stages* the py_func node (the Python callable
+        # does not run at trace time); each execution then runs it.
+        assert len(log) == 2
+
+    def test_gradient_through_staged_py_func(self):
+        @repro.function
+        def f(x):
+            y = repro.py_func(lambda v: v * v, [x], Tout=repro.float32)
+            return y * 3.0
+
+        x = repro.constant(2.0)
+        with repro.GradientTape() as tape:
+            tape.watch(x)
+            out = f(x)
+        assert float(tape.gradient(out, x)) == pytest.approx(12.0)
+
+    def test_graph_marked_unserializable(self):
+        @repro.function
+        def f(x):
+            return repro.py_func(lambda v: v.numpy(), [x], Tout=repro.float32)
+
+        concrete = f.get_concrete_function(repro.constant(1.0))
+        assert concrete.func_graph.contains_py_func
+        with pytest.raises(InvalidArgumentError):
+            concrete.definition()
+
+    def test_py_func_flag_propagates_through_nesting(self):
+        @repro.function
+        def inner(x):
+            return repro.py_func(lambda v: v.numpy(), [x], Tout=repro.float32)
+
+        @repro.function
+        def outer(x):
+            return inner(x)
+
+        concrete = outer.get_concrete_function(repro.constant(1.0))
+        assert concrete.func_graph.contains_py_func
+
+    def test_imperative_wrapping_has_no_effect(self):
+        """Paper: 'when executing in imperative mode, wrapping a Python
+        function in a py_func has essentially no effect.'"""
+
+        def f(v):
+            return v * 2.0
+
+        x = repro.constant(3.0)
+        direct = f(x)
+        wrapped = repro.py_func(f, [x], Tout=repro.float32)
+        assert float(direct) == float(wrapped)

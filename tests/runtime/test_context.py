@@ -1,0 +1,66 @@
+"""Runtime context: execution modes, seeding, init_scope."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.runtime.context import context
+
+
+class TestExecutionMode:
+    def test_eager_by_default(self):
+        assert repro.executing_eagerly()
+
+    def test_graph_building_flips_mode(self):
+        g = repro.Graph("t")
+        assert repro.executing_eagerly()
+        with g.as_default():
+            assert not repro.executing_eagerly()
+        assert repro.executing_eagerly()
+
+    def test_init_scope_escapes_trace(self):
+        """Paper §4.7: init_scope pauses the trace."""
+        seen = {}
+
+        @repro.function
+        def f(x):
+            with repro.init_scope():
+                seen["eager_inside_trace"] = repro.executing_eagerly()
+                seen["value"] = repro.constant(3.0) * 2.0  # executes eagerly
+            return x * 1.0
+
+        f(repro.constant(1.0))
+        assert seen["eager_inside_trace"]
+        assert isinstance(seen["value"], repro.Tensor)
+        assert float(seen["value"]) == 6.0
+
+
+class TestSeeding:
+    def test_same_seed_same_stream(self):
+        repro.set_random_seed(7)
+        a = repro.random_normal([4]).numpy().copy()
+        repro.set_random_seed(7)
+        b = repro.random_normal([4]).numpy()
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        repro.set_random_seed(7)
+        a = repro.random_normal([8]).numpy().copy()
+        repro.set_random_seed(8)
+        b = repro.random_normal([8]).numpy()
+        assert not np.array_equal(a, b)
+
+    def test_devices_have_distinct_streams(self):
+        repro.set_random_seed(7)
+        a = repro.random_normal([8]).numpy().copy()
+        repro.set_random_seed(7)
+        with repro.device("/gpu:0"):
+            b = repro.random_normal([8]).numpy()
+        assert not np.array_equal(a, b)
+
+
+class TestUniqueIds:
+    def test_monotone(self):
+        a = context.unique_id()
+        b = context.unique_id()
+        assert b > a

@@ -1,0 +1,169 @@
+"""Device model tests, including the paper's Listings 4 and 5."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.framework.errors import InvalidArgumentError, NotFoundError
+from repro.runtime.context import context
+from repro.runtime.device import Device, DeviceCostModel, DeviceSpec
+
+
+class TestDeviceSpec:
+    def test_parse_full_name(self):
+        spec = DeviceSpec.from_string("/job:training/replica:0/task:2/device:GPU:1")
+        assert spec.job == "training"
+        assert spec.task == 2
+        assert spec.device_type == "GPU"
+        assert spec.device_index == 1
+        assert spec.is_fully_specified
+
+    def test_parse_shorthand(self):
+        spec = DeviceSpec.from_string("/gpu:0")
+        assert spec.device_type == "GPU"
+        assert spec.device_index == 0
+        assert spec.job is None
+
+    def test_parse_case_insensitive_type(self):
+        assert DeviceSpec.from_string("/cpu:0").device_type == "CPU"
+
+    def test_roundtrip(self):
+        name = "/job:localhost/replica:0/task:0/device:TPU:0"
+        assert DeviceSpec.from_string(name).to_string() == name
+
+    def test_malformed_raises(self):
+        with pytest.raises(InvalidArgumentError):
+            DeviceSpec.from_string("gpu0???")
+
+    def test_merge_with_default(self):
+        partial = DeviceSpec.from_string("/gpu:0")
+        default = DeviceSpec.from_string("/job:localhost/replica:0/task:0/device:CPU:0")
+        merged = partial.make_merged_spec(default)
+        assert merged.to_string() == "/job:localhost/replica:0/task:0/device:GPU:0"
+
+
+class TestDeviceRegistry:
+    def test_list_devices(self):
+        names = repro.list_devices()
+        assert any("CPU:0" in n for n in names)
+        assert any("GPU:0" in n for n in names)
+        assert any("TPU:0" in n for n in names)
+
+    def test_get_device_shorthand(self):
+        assert context.get_device("/gpu:0").device_type == "GPU"
+
+    def test_unknown_device_raises(self):
+        with pytest.raises(NotFoundError):
+            context.get_device("/gpu:99")
+
+
+class TestListing4:
+    """Tensor copies between CPU and GPU (paper Listing 4)."""
+
+    def test_cpu_to_gpu_copy(self):
+        a = repro.constant(1.0)
+        assert "CPU" in a.device
+        b = a.gpu()
+        assert "GPU:0" in b.device
+        assert float(b) == 1.0
+
+    def test_gpu_to_cpu_roundtrip(self):
+        a = repro.constant([1.0, 2.0]).gpu()
+        c = a.cpu()
+        assert "CPU" in c.device
+        np.testing.assert_allclose(c.numpy(), [1.0, 2.0])
+
+    def test_copies_have_distinct_buffers(self):
+        a = repro.constant([1.0])
+        b = a.gpu()
+        assert b.numpy() is not a.numpy()
+
+
+class TestListing5:
+    """Executing a GPU op with inputs on the CPU (paper Listing 5)."""
+
+    def test_transparent_input_copy(self):
+        a = repro.constant(1.0)
+        b = repro.constant(2.0)
+        with repro.device("/gpu:0"):
+            c = repro.add(a, b)
+        assert c.numpy() == 3.0
+        assert "GPU:0" in c.device
+
+    def test_result_stays_on_device_without_annotation(self):
+        with repro.device("/gpu:0"):
+            a = repro.constant([1.0])
+        b = a * 2.0  # input attraction keeps the op on GPU
+        assert "GPU:0" in b.device
+
+    def test_nested_device_scopes(self):
+        with repro.device("/gpu:0"):
+            with repro.device("/cpu:0"):
+                t = repro.add(repro.constant(1.0), repro.constant(1.0))
+        assert "CPU" in t.device
+
+    def test_device_none_reenables_auto_placement(self):
+        with repro.device("/gpu:0"):
+            with repro.device(None):
+                t = repro.add(repro.constant(1.0), repro.constant(1.0))
+        assert "CPU" in t.device
+
+    def test_bad_device_name_fails_at_with(self):
+        with pytest.raises(InvalidArgumentError):
+            repro.device("not a device")
+
+
+class TestMemoryAccounting:
+    def test_allocation_stats(self):
+        dev = Device(DeviceSpec.from_string("/job:j/replica:0/task:0/device:CPU:9"))
+        dev.allocate(np.zeros(10, np.float32))
+        stats = dev.memory_stats()
+        assert stats["bytes_in_use"] == 40
+        assert stats["num_allocations"] == 1
+
+    def test_memory_limit_enforced(self):
+        dev = Device(
+            DeviceSpec.from_string("/job:j/replica:0/task:0/device:CPU:8"),
+            memory_limit_bytes=16,
+        )
+        with pytest.raises(MemoryError):
+            dev.allocate(np.zeros(100, np.float32))
+
+    def test_allocate_copies_user_arrays(self):
+        dev = Device(DeviceSpec.from_string("/job:j/replica:0/task:0/device:CPU:7"))
+        src = np.ones(3, np.float32)
+        buf = dev.allocate(src)
+        src[0] = 99.0
+        assert buf[0] == 1.0
+
+    def test_allocate_preserves_zero_d(self):
+        dev = Device(DeviceSpec.from_string("/job:j/replica:0/task:0/device:CPU:6"))
+        assert dev.allocate(np.float32(3.0)).shape == ()
+
+
+class TestCostModel:
+    def test_roofline(self):
+        cm = DeviceCostModel(
+            launch_overhead_us=10,
+            instruction_overhead_us=0.0,
+            flops_per_us=100,
+            bytes_per_us=50,
+        )
+        assert cm.program_cost_us(flops=1000, bytes_accessed=0) == 10.0
+        assert cm.program_cost_us(flops=0, bytes_accessed=1000) == 20.0
+
+    def test_instruction_overhead_added(self):
+        cm = DeviceCostModel(instruction_overhead_us=2.0, flops_per_us=1.0)
+        assert cm.program_cost_us(flops=3.0, bytes_accessed=0.0) == 5.0
+
+    def test_tpu_uses_simulated_time(self):
+        assert context.get_device("/tpu:0").uses_simulated_time
+        assert not context.get_device("/gpu:0").uses_simulated_time
+
+    def test_simulated_clock_accumulates(self):
+        dev = Device(DeviceSpec.from_string("/job:j/replica:0/task:0/device:TPU:5"))
+        dev.charge_simulated_time(5.0)
+        dev.charge_simulated_time(2.5)
+        assert dev.simulated_time_us == 7.5
+        dev.reset_stats()
+        assert dev.simulated_time_us == 0.0

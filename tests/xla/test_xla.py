@@ -1,0 +1,176 @@
+"""XLA-sim: lowering, fusion, compiled execution, and the TPU bridge."""
+
+import numpy as np
+import pytest
+
+import repro
+import repro.xla  # installs the TPU hook
+from repro.framework.errors import UnimplementedError
+from repro.runtime.context import context
+from repro.xla import compiler, fusion, hlo, tpu
+
+
+def _concrete(fn, *args):
+    return repro.function(fn).get_concrete_function(*args).graph_function
+
+
+class TestLowering:
+    def test_parameters_and_roots(self):
+        gf = _concrete(lambda x: repro.reduce_sum(x * x), repro.constant([1.0, 2.0]))
+        comp = hlo.lower(gf)
+        params = [i for i in comp.instructions if i.opcode == "Parameter"]
+        assert len(params) == len(gf.inputs)
+        assert len(comp.roots) == 1
+
+    def test_cost_estimates_positive(self):
+        gf = _concrete(
+            lambda x: repro.matmul(x, x),
+            repro.constant(np.eye(8, dtype=np.float32)),
+        )
+        comp = hlo.lower(gf)
+        matmuls = [i for i in comp.instructions if i.opcode == "MatMul"]
+        assert matmuls and matmuls[0].flops == pytest.approx(2 * 8 * 8 * 8)
+        assert comp.total_bytes > 0
+
+    def test_py_func_uncompilable(self):
+        gf = _concrete(
+            lambda x: repro.py_func(lambda v: v.numpy(), [x], Tout=repro.float32),
+            repro.constant(1.0),
+        )
+        with pytest.raises(UnimplementedError):
+            hlo.lower(gf)
+
+
+class TestFusion:
+    def test_elementwise_chain_fuses(self):
+        gf = _concrete(
+            lambda x: repro.tanh(repro.exp(x * 2.0) + 1.0),
+            repro.constant([1.0, 2.0]),
+        )
+        comp = hlo.lower(gf)
+        fused = fusion.fuse_elementwise(comp)
+        fusions = [i for i in fused.instructions if i.opcode == "Fusion"]
+        assert len(fusions) == 1
+        assert len(fusions[0].fused) >= 3
+        # Fewer launches after fusion.
+        assert len(fused.instructions) < len(comp.instructions)
+
+    def test_matmul_breaks_fusion(self):
+        gf = _concrete(
+            lambda x: repro.matmul(x * 2.0, x) + 1.0,
+            repro.constant(np.eye(3, dtype=np.float32)),
+        )
+        fused = fusion.fuse_elementwise(hlo.lower(gf))
+        opcodes = [i.opcode for i in fused.instructions]
+        assert "MatMul" in opcodes
+
+    def test_fanout_not_fused(self):
+        def f(x):
+            y = repro.exp(x)  # two consumers
+            return y * 2.0 + y
+
+        gf = _concrete(f, repro.constant([1.0]))
+        fused = fusion.fuse_elementwise(hlo.lower(gf))
+        # Exp must remain standalone (its value feeds two ops).
+        assert any(i.opcode == "Exp" for i in fused.instructions)
+
+    def test_fusion_preserves_values(self):
+        def f(x):
+            return repro.tanh(repro.exp(x * 2.0) + repro.sigmoid(x))
+
+        gf = _concrete(f, repro.constant([0.3, -1.2]))
+        reference = gf.run([repro.constant([0.3, -1.2])])[0].numpy()
+        exe = compiler.compile_function(gf, fuse=True)
+        out = exe.execute([np.float32([0.3, -1.2])], context.get_device("/tpu:0"))
+        np.testing.assert_allclose(out[0], reference, rtol=1e-6)
+
+    def test_fusion_reduces_modelled_bytes(self):
+        gf = _concrete(
+            lambda x: repro.tanh(repro.exp(x * 2.0) + 1.0),
+            repro.constant(np.zeros(1024, np.float32)),
+        )
+        comp = hlo.lower(gf)
+        fused = fusion.fuse_elementwise(comp)
+        assert fused.total_bytes < comp.total_bytes
+        assert fused.total_flops == comp.total_flops
+
+
+class TestCompiledExecution:
+    def test_values_match_cpu(self):
+        gf = _concrete(
+            lambda x: repro.reduce_sum(repro.matmul(x, x) * 0.5),
+            repro.constant(np.eye(4, dtype=np.float32)),
+        )
+        exe = compiler.compile_function(gf)
+        arg = np.random.randn(4, 4).astype(np.float32)
+        cpu_out = gf.run([repro.constant(arg)])[0].numpy()
+        tpu_out = exe.execute([arg], context.get_device("/tpu:0"))[0]
+        np.testing.assert_allclose(tpu_out, cpu_out, rtol=1e-5)
+
+    def test_one_launch_overhead_per_execution(self):
+        gf = _concrete(lambda x: repro.tanh(x) + repro.exp(x), repro.constant([1.0]))
+        exe = compiler.compile_function(gf)
+        dev = context.get_device("/tpu:0")
+        dev.reset_stats()
+        exe.execute([np.float32([1.0])], dev)
+        once = dev.simulated_time_us
+        exe.execute([np.float32([1.0])], dev)
+        assert dev.simulated_time_us == pytest.approx(2 * once)
+        assert once >= dev.cost_model.launch_overhead_us
+
+
+class TestTPUBridge:
+    def test_per_op_execution_charges_launch_each_time(self):
+        dev = context.get_device("/tpu:0")
+        dev.reset_stats()
+        with repro.device("/tpu:0"):
+            a = repro.constant([1.0, 2.0])
+            b = a * 2.0 + 1.0
+        np.testing.assert_allclose(b.numpy(), [3.0, 5.0])
+        # constant copy is free; Mul and Add each pay >= one launch.
+        assert dev.simulated_time_us >= 2 * dev.cost_model.launch_overhead_us
+
+    def test_staged_call_is_one_launch(self):
+        @repro.function
+        def f(x):
+            return repro.reduce_sum(repro.tanh(x) * x + 1.0)
+
+        dev = context.get_device("/tpu:0")
+        x = repro.constant(np.random.randn(16).astype(np.float32))
+        with repro.device("/tpu:0"):
+            f(x)  # compile + first launch
+            dev.reset_stats()
+            out_tpu = f(x)
+        per_step = dev.simulated_time_us
+        assert per_step < 2 * dev.cost_model.launch_overhead_us
+        np.testing.assert_allclose(float(out_tpu), float(f(x)), rtol=1e-5)
+
+    def test_single_op_programs_are_cached(self):
+        tpu.reset_caches()
+        with repro.device("/tpu:0"):
+            x = repro.constant([1.0])
+            for _ in range(5):
+                x = x * 1.5
+        stats = tpu.compile_cache_stats()
+        assert stats["op_compiles"] == 1  # same signature compiles once
+        assert stats["launches"] >= 5
+
+    def test_variables_work_on_tpu(self):
+        with repro.device("/tpu:0"):
+            v = repro.Variable([1.0, 2.0])
+            v.assign_add([1.0, 1.0])
+        np.testing.assert_allclose(v.numpy(), [2.0, 3.0])
+
+    def test_gradients_through_tpu_function(self):
+        v = repro.Variable(2.0)
+
+        @repro.function
+        def f(x):
+            return x * v * v
+
+        x = repro.constant(3.0)
+        with repro.device("/tpu:0"):
+            with repro.GradientTape() as tape:
+                y = f(x)
+            g = tape.gradient(y, v)
+        assert float(g) == pytest.approx(12.0)
