@@ -36,12 +36,18 @@ from repro.tensor import Tensor
 __all__ = ["WorkerServer", "RemoteDevice", "connect_to_cluster", "shutdown_cluster"]
 
 
+def _remote_op_runner(device: "RemoteDevice", op_name: str, inputs, attrs: dict):
+    """The Device.dispatch protocol hook shipping ops to the worker."""
+    return device.execute_op(op_name, list(inputs), attrs)
+
+
 class RemoteDevice(Device):
     """A device owned by a worker; operations are shipped to its server."""
 
     def __init__(self, spec: DeviceSpec, server: "WorkerServer") -> None:
         super().__init__(spec)
         self._server = server
+        self.set_op_runner(_remote_op_runner)
 
     @property
     def server(self) -> "WorkerServer":

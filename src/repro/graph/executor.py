@@ -1,17 +1,38 @@
 """The dataflow graph executor.
 
-Executes a graph's nodes over concrete tensors.  Two modes:
+Executes a graph's nodes over concrete tensors.  Per-node kernel
+dispatch is NOT implemented here: every node runs through the unified
+dispatch core (:data:`repro.runtime.dispatch.core`) — the same device
+resolution, kernel cache, interceptor stack (profiler, op records, …),
+and :meth:`Device.dispatch` protocol that serves eager execution.
+That is the paper's §4.1 claim made structural: imperative and staged
+computations "use the same APIs and kernels", and staging wins only by
+amortizing per-op Python overhead, not by running different code.
+
+Two execution modes:
 
 * **Serial** (default): one pass over the nodes in topological order.
-  This is the low-overhead fast path the staged benchmarks use — one
-  tight Python loop with direct kernel dispatch, no per-op context
-  inspection, tape probing, or device-stack walks (which is precisely
-  why staged execution outruns the imperative path on small ops,
-  reproducing Figures 3–4).
+  This is the low-overhead fast path the staged benchmarks use: the
+  :class:`GraphRunner` plan pre-resolves each node's kernel through the
+  dispatch core's ``(op, device_kind, input_dtypes)`` cache at plan
+  time, so the loop invokes cached kernels directly with no per-op
+  registry probing, tape probing, or device-stack walks (which is
+  precisely why staged execution outruns the imperative path on small
+  ops, reproducing Figures 3–4).  When any ``"graph"``-mode interceptor
+  is registered — a single emptiness check per node — the node takes
+  the instrumented ``core.dispatch`` path instead, so cross-cutting
+  hooks observe graph nodes exactly as they observe eager ops.  To
+  observe nodes here, register an interceptor with
+  ``dispatch.core.register_interceptor`` (see the
+  :mod:`repro.runtime.dispatch` docstring); do not add inline checks to
+  the loop.
 * **Parallel**: a ready-queue scheduler over a thread pool, modelling
   the real runtime's inter-op parallelism (paper §5: "runs kernels in
   parallel when possible").  Stateful operations are serialized in
-  program order through an implicit control edge.
+  program order through an implicit control edge.  The pool size comes
+  from ``context.inter_op_parallelism_threads`` (env var
+  ``REPRO_INTER_OP_THREADS``, default 8), and the pool is shut down
+  cleanly at interpreter exit.
 
 Both modes free intermediate buffers as soon as their last consumer has
 run (reference counting), mirroring the buffer-reuse benefit the paper
@@ -20,26 +41,21 @@ attributes to graphs (§4.1).
 
 from __future__ import annotations
 
+import atexit
 import threading
-import time
 from concurrent.futures import ThreadPoolExecutor
 from typing import Optional, Sequence
 
 import numpy as np
 
 from repro.framework import dtypes
-from repro.framework.errors import (
-    FailedPreconditionError,
-    InternalError,
-    InvalidArgumentError,
-)
-from repro.ops import registry
-from repro.runtime import profiler
+from repro.framework.errors import InternalError, InvalidArgumentError
+from repro.runtime import dispatch
 from repro.runtime.context import context
 from repro.tensor import Tensor
 from repro.graph.graph import Graph, Node, SymbolicTensor
 
-__all__ = ["execute_graph", "GraphRunner"]
+__all__ = ["execute_graph", "GraphRunner", "shutdown_thread_pool"]
 
 _POOL: Optional[ThreadPoolExecutor] = None
 _POOL_LOCK = threading.Lock()
@@ -49,74 +65,39 @@ def _thread_pool() -> ThreadPoolExecutor:
     global _POOL
     with _POOL_LOCK:
         if _POOL is None:
-            _POOL = ThreadPoolExecutor(max_workers=8, thread_name_prefix="repro-executor")
+            _POOL = ThreadPoolExecutor(
+                max_workers=context.inter_op_parallelism_threads,
+                thread_name_prefix="repro-executor",
+            )
         return _POOL
 
 
-def _resolve_node_device(node: Node, inputs: Sequence[Tensor]):
-    if node.device is not None:
-        return context.get_device(node.device)
-    cpu = context.cpu_device()
-    for t in inputs:
-        if isinstance(t, Tensor) and t.device_object is not cpu:
-            return t.device_object
-    return cpu
+def shutdown_thread_pool(wait: bool = True) -> None:
+    """Shut down the inter-op thread pool (it is rebuilt on demand).
+
+    Called automatically at interpreter exit; call it manually after
+    changing ``context.inter_op_parallelism_threads`` so the next
+    parallel execution picks up the new size.
+    """
+    global _POOL
+    with _POOL_LOCK:
+        pool, _POOL = _POOL, None
+    if pool is not None:
+        pool.shutdown(wait=wait)
 
 
-def _run_node(node: Node, inputs: Sequence[Tensor]) -> list[Tensor]:
-    """Dispatch one node's kernel (the graph-mode analogue of eager execute)."""
-    device = _resolve_node_device(node, inputs)
+atexit.register(shutdown_thread_pool)
 
-    execute_op = getattr(device, "execute_op", None)
-    if execute_op is not None:
-        result = execute_op(node.op_name, inputs, node.attrs)
-        if result is not None:
-            return list(result)
 
-    if device.requires_compilation:
-        from repro.runtime import executor as eager_executor
-
-        if eager_executor._compiled_op_runner is None:
-            raise FailedPreconditionError(
-                f"Node {node.name!r} placed on {device.name} but no compiler is loaded"
-            )
-        return list(
-            eager_executor._compiled_op_runner(device, node.op_name, inputs, node.attrs)
-        )
-
-    if registry.has_kernel(node.op_name, device.device_type):
-        kernel = registry.get_kernel(node.op_name, device.device_type)
-    else:
-        kernel = registry.get_kernel(node.op_name, "CPU")
-
-    arrays = []
-    for t in inputs:
-        if t.device_object is not device and t.dtype not in (dtypes.resource, dtypes.variant):
-            buf = device.allocate(np.asarray(t.numpy()))
-            t = Tensor._from_buffer(buf, t.dtype, device)
-        arrays.append(t._array)
-
-    device.count_kernel_launch()
-    prof = profiler.active
-    if prof is None:
-        results = kernel(arrays, node.attrs, device)
-    else:
-        start = time.perf_counter()
-        results = kernel(arrays, node.attrs, device)
-        prof.add(node.op_name, time.perf_counter() - start)
-    if results is None:
-        results = []
-    elif isinstance(results, (Tensor, np.ndarray)) or np.isscalar(results):
-        results = [results]
-    outputs = []
-    for r in results:
-        if isinstance(r, Tensor):
-            outputs.append(r)
-        else:
-            arr = r if isinstance(r, np.ndarray) else np.asarray(r)
-            buf = device.wrap_output(arr)
-            outputs.append(Tensor._from_buffer(buf, dtypes.as_dtype(arr.dtype), device))
-    return outputs
+def _dispatch_node(node: Node, inputs: Sequence[Tensor]) -> list[Tensor]:
+    """Run one node through the unified dispatch core."""
+    return dispatch.core.dispatch(
+        node.op_name,
+        inputs,
+        node.attrs,
+        explicit_device=node.device,
+        mode=dispatch.GRAPH,
+    )
 
 
 class GraphRunner:
@@ -174,16 +155,20 @@ class GraphRunner:
 
         self.placeholders = [n for n in self.schedule if n.op_name == "Placeholder"]
 
-        # Precomputed execution plan: per node, the resolved CPU kernel
-        # (when one exists and the node is not pinned elsewhere), input
-        # tensor ids, and output bookkeeping.  The serial loop then runs
-        # with no registry lookups or device-stack walks per node — the
-        # low per-op overhead that gives staged execution its edge.
+        # Precomputed execution plan: per node, the kernel resolved once
+        # through the dispatch core's (op, device_kind, input_dtypes)
+        # cache (when one exists and the node is not pinned elsewhere),
+        # input tensor ids, and output bookkeeping.  The serial loop
+        # then runs with no registry lookups or device-stack walks per
+        # node — the low per-op overhead that gives staged execution
+        # its edge.
+        core = dispatch.core
         self.plan = []
         for node in self.schedule:
             kernel = None
-            if node.device is None and registry.has_kernel(node.op_name, "CPU"):
-                kernel = registry.get_kernel(node.op_name, "CPU")
+            if node.device is None:
+                in_dtypes = tuple(t.dtype for t in node.inputs)
+                kernel = core.resolve_kernel_or_none(node.op_name, "CPU", in_dtypes)
             in_ids = tuple(id(t) for t in node.inputs)
             out_entries = tuple(
                 (id(sym), self.consumers.get(id(sym), 0) > 0, sym.dtype)
@@ -238,6 +223,7 @@ class GraphRunner:
     def _run_serial(self, feed_values: dict[int, Tensor]) -> list[Tensor]:
         store: dict[int, Tensor] = {}
         cpu = context.cpu_device()
+        core = dispatch.core
         from_buffer = Tensor._from_buffer
         as_dtype = dtypes.as_dtype
         ndarray = np.ndarray
@@ -259,9 +245,10 @@ class GraphRunner:
                     f"Value(s) {missing} consumed before being produced"
                 ) from None
 
-            # Fast path: unpinned single-output node, inputs on local CPU.
+            # Fast path: unpinned single-output node, inputs on local
+            # CPU, no graph-mode interceptor registered.
             arrays = None
-            if kernel is not None:
+            if kernel is not None and not core.graph_interceptors:
                 arrays = []
                 for t in inputs:
                     if t._device is not cpu:
@@ -270,13 +257,7 @@ class GraphRunner:
                     arrays.append(t._array)
             if arrays is not None:
                 cpu._kernel_launches += 1
-                prof = profiler.active
-                if prof is None:
-                    r = kernel(arrays, attrs, cpu)
-                else:
-                    start = time.perf_counter()
-                    r = kernel(arrays, attrs, cpu)
-                    prof.add(node.op_name, time.perf_counter() - start)
+                r = kernel(arrays, attrs, cpu)
                 if single is not None and type(r) is ndarray:
                     out_id, keep, out_dtype = single
                     if keep:
@@ -302,7 +283,7 @@ class GraphRunner:
                                 cpu.wrap_output(arr), as_dtype(arr.dtype), cpu
                             )
             else:
-                outputs = _run_node(node, inputs)
+                outputs = _dispatch_node(node, inputs)
                 for (out_id, keep, _dt), out_val in zip(out_entries, outputs):
                     if keep:
                         store[out_id] = out_val
@@ -377,7 +358,7 @@ class GraphRunner:
                 else:
                     with store_lock:
                         inputs = [store[id(t)] for t in node.inputs]
-                    outputs = _run_node(node, inputs)
+                    outputs = _dispatch_node(node, inputs)
                     with store_lock:
                         for out_sym, out_val in zip(node.outputs, outputs):
                             store[id(out_sym)] = out_val

@@ -33,6 +33,8 @@ __all__ = [
     "register_kernel",
     "get_kernel",
     "has_kernel",
+    "resolve_kernel",
+    "add_kernel_registration_listener",
     "register_gradient",
     "get_gradient_function",
     "has_gradient",
@@ -74,6 +76,28 @@ class OpDef:
 _OPS: dict[str, OpDef] = {}
 _KERNELS: dict[tuple[str, str], KernelFn] = {}
 _GRADIENTS: dict[str, GradFn] = {}
+
+# Placement-aware kernel resolution is memoised here (and again, keyed
+# by input signature, in the dispatch core); registering a new kernel
+# invalidates both through the listener list.
+_RESOLUTION_CACHE: dict[tuple[str, str, bool], KernelFn] = {}
+_KERNEL_LISTENERS: list[Callable[[], None]] = []
+
+
+def add_kernel_registration_listener(listener: Callable[[], None]) -> None:
+    """Call ``listener`` whenever a new kernel is registered.
+
+    Used by caches layered above the registry (the dispatch core's
+    per-signature kernel cache) to invalidate themselves instead of
+    re-checking the registry on every op.
+    """
+    _KERNEL_LISTENERS.append(listener)
+
+
+def _notify_kernel_registration() -> None:
+    _RESOLUTION_CACHE.clear()
+    for listener in _KERNEL_LISTENERS:
+        listener()
 
 
 def register_op(
@@ -117,6 +141,7 @@ def register_kernel(op_name: str, device_types: Sequence[str] = ("CPU", "GPU")):
             if key in _KERNELS:
                 raise AlreadyExistsError(f"Kernel already registered for {key}")
             _KERNELS[key] = fn
+        _notify_kernel_registration()
         return fn
 
     return decorator
@@ -134,6 +159,34 @@ def get_kernel(op_name: str, device_type: str) -> KernelFn:
 
 def has_kernel(op_name: str, device_type: str) -> bool:
     return (op_name, device_type.upper()) in _KERNELS
+
+
+def resolve_kernel(
+    op_name: str, device_type: str, allow_soft_placement: bool = True
+) -> KernelFn:
+    """Placement-aware kernel resolution (the cacheable dispatch API).
+
+    Returns the kernel registered for ``(op_name, device_type)``; under
+    soft placement, ops without a kernel on the requested accelerator
+    fall back to their CPU kernel (TF does the same).  Successful
+    resolutions are memoised until the next kernel registration, so the
+    dispatch hot path is a dict hit rather than repeated probing.
+    """
+    device_type = device_type.upper()
+    key = (op_name, device_type, allow_soft_placement)
+    kernel = _RESOLUTION_CACHE.get(key)
+    if kernel is not None:
+        return kernel
+    kernel = _KERNELS.get((op_name, device_type))
+    if kernel is None and allow_soft_placement and device_type != "CPU":
+        kernel = _KERNELS.get((op_name, "CPU"))
+    if kernel is None:
+        raise NotFoundError(
+            f"No kernel for operation {op_name!r} on device type "
+            f"{device_type!r}"
+        )
+    _RESOLUTION_CACHE[key] = kernel
+    return kernel
 
 
 def register_gradient(op_name: str):

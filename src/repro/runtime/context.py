@@ -19,6 +19,8 @@ The :class:`Context` singleton owns:
 
 from __future__ import annotations
 
+import os
+import sys
 import threading
 from typing import Callable, Iterable, Optional
 
@@ -46,6 +48,16 @@ class _ThreadLocalStacks(threading.local):
         self.init_scope_marks: list[int] = []
 
 
+def _dispatch_core():
+    """The dispatch core, if its module has finished importing.
+
+    Lazy (and bootstrap-safe): :mod:`repro.runtime.dispatch` imports this
+    module, so we must not import it back at module level.
+    """
+    mod = sys.modules.get("repro.runtime.dispatch")
+    return getattr(mod, "core", None)
+
+
 class Context:
     """Process-global runtime state.  Use the :data:`context` singleton."""
 
@@ -58,8 +70,60 @@ class Context:
         self._remote_resolver: Optional[Callable[[str], Optional[Device]]] = None
         self._uid_lock = threading.Lock()
         self._uid = 0
-        self.soft_device_placement = True
+        self._soft_device_placement = True
+        self._inter_op_threads = self._threads_from_env()
         self._initialize_local_devices(num_gpus=num_gpus, num_tpus=num_tpus)
+
+    @staticmethod
+    def _threads_from_env() -> int:
+        raw = os.environ.get("REPRO_INTER_OP_THREADS", "8")
+        try:
+            value = int(raw)
+        except ValueError:
+            raise InvalidArgumentError(
+                f"REPRO_INTER_OP_THREADS must be an integer, got {raw!r}"
+            ) from None
+        if value < 1:
+            raise InvalidArgumentError(
+                f"REPRO_INTER_OP_THREADS must be >= 1, got {value}"
+            )
+        return value
+
+    # -- placement / execution knobs --------------------------------------
+    @property
+    def soft_device_placement(self) -> bool:
+        """Fall back to CPU kernels for ops without an accelerator kernel."""
+        return self._soft_device_placement
+
+    @soft_device_placement.setter
+    def soft_device_placement(self, value: bool) -> None:
+        value = bool(value)
+        if value != self._soft_device_placement:
+            self._soft_device_placement = value
+            core = _dispatch_core()
+            if core is not None:
+                # Cached kernel resolutions embed the placement policy.
+                core.clear_kernel_cache()
+
+    @property
+    def inter_op_parallelism_threads(self) -> int:
+        """Thread-pool size for the parallel graph executor.
+
+        Initialised from ``REPRO_INTER_OP_THREADS`` (default 8).  Takes
+        effect for pools created afterwards; call
+        :func:`repro.graph.executor.shutdown_thread_pool` to force the
+        next parallel run to pick up a new value.
+        """
+        return self._inter_op_threads
+
+    @inter_op_parallelism_threads.setter
+    def inter_op_parallelism_threads(self, value: int) -> None:
+        value = int(value)
+        if value < 1:
+            raise InvalidArgumentError(
+                f"inter_op_parallelism_threads must be >= 1, got {value}"
+            )
+        self._inter_op_threads = value
 
     # -- devices -----------------------------------------------------------
     def _initialize_local_devices(self, num_gpus: int, num_tpus: int) -> None:
@@ -71,10 +135,18 @@ class Context:
 
     def add_device(self, dev: Device) -> None:
         self._devices[dev.name] = dev
+        if dev.requires_compilation and dev.op_runner is None:
+            core = _dispatch_core()
+            if core is not None and core.compilation_runner is not None:
+                dev.set_op_runner(core.compilation_runner)
 
     def list_devices(self) -> list[str]:
         """Names of all devices the runtime is aware of (paper §4.4)."""
         return sorted(self._devices)
+
+    def devices(self) -> list[Device]:
+        """All Device objects the runtime is aware of."""
+        return list(self._devices.values())
 
     def set_remote_device_resolver(
         self, resolver: Optional[Callable[[str], Optional[Device]]]

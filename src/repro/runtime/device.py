@@ -33,11 +33,11 @@ from __future__ import annotations
 import re
 import threading
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Callable, Optional
 
 import numpy as np
 
-from repro.framework.errors import InvalidArgumentError
+from repro.framework.errors import FailedPreconditionError, InvalidArgumentError
 
 __all__ = ["DeviceSpec", "Device", "DeviceCostModel"]
 
@@ -204,6 +204,12 @@ class Device:
         self._kernel_launches = 0
         self.cost_model = cost_model or DeviceCostModel()
         self._simulated_time_us = 0.0
+        # Device-level dispatch hook (the uniform Device.dispatch
+        # protocol): when set, ops placed here run through the runner
+        # instead of the shared kernel path.  `_special_dispatch` is the
+        # single flag the dispatch core checks per op.
+        self._op_runner: Optional[Callable] = None
+        self._special_dispatch: bool = self.requires_compilation
 
     # -- identity --------------------------------------------------------
     @property
@@ -226,6 +232,42 @@ class Device:
     def requires_compilation(self) -> bool:
         """TPUs only execute XLA-compiled programs (paper §4.4)."""
         return self.device_type == "TPU"
+
+    # -- dispatch protocol -------------------------------------------------
+    @property
+    def op_runner(self) -> Optional[Callable]:
+        return self._op_runner
+
+    def set_op_runner(self, runner: Optional[Callable]) -> None:
+        """Install (or, with ``None``, remove) this device's op runner.
+
+        A runner is ``runner(device, op_name, inputs, attrs) -> list of
+        output tensors`` (or ``None`` to delegate back to the shared
+        kernel path).  Remote devices ship ops to their worker this way,
+        and the XLA bridge installs the compiled-op runner on every
+        compilation-only device — replacing the old process-global
+        ``set_compiled_op_runner`` hook.
+        """
+        self._op_runner = runner
+        self._special_dispatch = runner is not None or self.requires_compilation
+
+    def dispatch(self, op_name: str, inputs, attrs: dict):
+        """Run one op through the device's own execution path.
+
+        Returns the op's outputs, or ``None`` when the device has no
+        opinion and the shared kernel path should be used.  Devices
+        that only execute compiled programs raise when no runner has
+        been installed.
+        """
+        runner = self._op_runner
+        if runner is not None:
+            return runner(self, op_name, inputs, attrs)
+        if self.requires_compilation:
+            raise FailedPreconditionError(
+                f"Device {self._name} only executes compiled programs but "
+                "no compiler is loaded (import repro.xla)"
+            )
+        return None
 
     # -- memory ------------------------------------------------------------
     def allocate(self, array: np.ndarray) -> np.ndarray:

@@ -1,4 +1,4 @@
-"""The single op-execution path.
+"""The imperative entry point into the unified dispatch core.
 
 Every library function — ``repro.matmul``, operator overloads, gradient
 rules, optimizer updates — funnels through :func:`execute`.  The
@@ -8,64 +8,39 @@ function inspects the runtime context and either
   returning symbolic tensors (paper §4.1: "in a graph-building context,
   operations return symbolic representations of values to be computed
   instead of concrete values"), or
-* **executes** it immediately: resolves a device (explicit ``device``
-  block, else the device of the first tensor input), transparently
-  copies inputs onto that device (Listing 5), dispatches the
-  device-specific kernel, and wraps the outputs.
+* **executes** it immediately through
+  :meth:`repro.runtime.dispatch.DispatchCore.dispatch` — the single
+  kernel-dispatch implementation shared with the graph executor, which
+  resolves placement, performs transparent cross-device input copies
+  (Listing 5), hits the per-signature kernel cache, and runs the
+  registered interceptor stack (profiler, op records, …).
 
-In both modes the operation is offered to active gradient tapes, which
-is what makes imperative and staged code differentiable through one
-mechanism (§4.2).
+There is deliberately no kernel lookup or device probing here: the
+paper's claim that imperative and staged execution "use the same APIs
+and kernels" (§4.1) holds because both executors call the same
+:data:`repro.runtime.dispatch.core`.  Cross-cutting concerns hook in as
+interceptors (see the :mod:`repro.runtime.dispatch` docstring), not as
+special cases in this file.
 """
 
 from __future__ import annotations
 
 from typing import Callable, Optional, Sequence
 
-import numpy as np
-
-from repro.framework import dtypes
-from repro.framework.errors import (
-    FailedPreconditionError,
-    InternalError,
-    NotFoundError,
-)
-from repro.ops import registry
-from repro.runtime import profiler, records
 from repro.runtime.context import context
-from repro.runtime.device import Device
-from repro.tensor import Tensor, TensorBase
+from repro.runtime.dispatch import core
 
 __all__ = ["execute", "set_compiled_op_runner"]
 
-# Installed by repro.xla.tpu: runs a single op on a compilation-only
-# device (TPU) by compiling and launching a one-op program.
-_compiled_op_runner: Optional[Callable] = None
-
 
 def set_compiled_op_runner(runner: Optional[Callable]) -> None:
-    global _compiled_op_runner
-    _compiled_op_runner = runner
+    """Back-compat shim for the old process-global compiled-op hook.
 
-
-def _resolve_device(inputs: Sequence) -> Device:
-    """Device selection: explicit context, else first input's device."""
-    explicit = context.current_device_name()
-    if explicit is not None:
-        return context.get_device(explicit)
-    cpu = context.cpu_device()
-    for t in inputs:
-        if isinstance(t, Tensor) and t.device_object is not cpu:
-            return t.device_object
-    return cpu
-
-
-def _copy_to_device(t: Tensor, device: Device) -> Tensor:
-    """Transparent cross-device input copy (paper Listing 5)."""
-    if t.dtype in (dtypes.resource, dtypes.variant):
-        return t  # handles are passed by reference, never copied
-    buf = device.allocate(t._array)
-    return Tensor._from_buffer(buf, t.dtype, device)
+    The hook is now device-level: this installs ``runner`` on every
+    compilation-only device via
+    :meth:`DispatchCore.install_compilation_runner`.
+    """
+    core.install_compilation_runner(runner)
 
 
 def execute(
@@ -93,93 +68,8 @@ def execute(
     graph = context.current_graph()
     if graph is not None:
         outputs = graph.add_operation(op_name, inputs, attrs, name=name)
-        records.record_operation(op_name, attrs, inputs, outputs)
+        core.notify_staged(op_name, attrs, inputs, outputs)
         return outputs[0] if len(outputs) == 1 else tuple(outputs)
 
-    # A symbolic tensor leaking into eager execution means the user
-    # returned a traced value out of its graph context.
-    for t in inputs:
-        if isinstance(t, TensorBase) and not isinstance(t, Tensor):
-            raise FailedPreconditionError(
-                f"Operation {op_name!r} received the symbolic tensor {t!r} "
-                "outside of its graph-building context. Symbolic tensors are "
-                "only usable inside the function being traced."
-            )
-
-    device = _resolve_device(inputs)
-
-    if device.requires_compilation:
-        if _compiled_op_runner is None:
-            raise FailedPreconditionError(
-                f"Device {device.name} only executes compiled programs but "
-                "no compiler is loaded (import repro.xla)"
-            )
-        outputs = _compiled_op_runner(device, op_name, inputs, attrs)
-        records.record_operation(op_name, attrs, list(inputs), list(outputs))
-        return outputs[0] if len(outputs) == 1 else tuple(outputs)
-
-    # Remote and other special devices execute ops themselves.
-    execute_op = getattr(device, "execute_op", None)
-    if execute_op is not None:
-        outputs = execute_op(op_name, inputs, attrs)
-        if outputs is not None:
-            records.record_operation(op_name, attrs, list(inputs), list(outputs))
-            return outputs[0] if len(outputs) == 1 else tuple(outputs)
-
-    kernel = _find_kernel(op_name, device)
-    arrays = []
-    for t in inputs:
-        if isinstance(t, Tensor):
-            if t.device_object is not device:
-                t = _copy_to_device(t, device)
-            arrays.append(t._array)
-        else:
-            raise InternalError(
-                f"Operation {op_name!r} received non-tensor input {t!r}; "
-                "API functions must convert inputs before calling execute()"
-            )
-
-    device.count_kernel_launch()
-    prof = profiler.active
-    if prof is None:
-        results = kernel(arrays, attrs, device)
-    else:
-        import time as _time
-
-        start = _time.perf_counter()
-        results = kernel(arrays, attrs, device)
-        prof.add(op_name, _time.perf_counter() - start)
-    outputs = _wrap_outputs(results, device)
-
-    records.record_operation(op_name, attrs, list(inputs), outputs)
+    outputs = core.dispatch(op_name, inputs, attrs)
     return outputs[0] if len(outputs) == 1 else tuple(outputs)
-
-
-def _find_kernel(op_name: str, device: Device):
-    if registry.has_kernel(op_name, device.device_type):
-        return registry.get_kernel(op_name, device.device_type)
-    # Soft placement: fall back to the CPU kernel (TF does the same for
-    # ops without a kernel on the requested accelerator).
-    if context.soft_device_placement and registry.has_kernel(op_name, "CPU"):
-        return registry.get_kernel(op_name, "CPU")
-    raise NotFoundError(
-        f"No kernel for operation {op_name!r} on device type "
-        f"{device.device_type!r}"
-    )
-
-
-def _wrap_outputs(results, device: Device) -> list:
-    """Normalize a kernel's return value into a list of Tensors."""
-    if results is None:
-        return []
-    if isinstance(results, (Tensor, np.ndarray)) or np.isscalar(results):
-        results = [results]
-    outputs = []
-    for r in results:
-        if isinstance(r, Tensor):
-            outputs.append(r)
-            continue
-        arr = r if isinstance(r, np.ndarray) else np.asarray(r)
-        buf = device.wrap_output(arr)
-        outputs.append(Tensor._from_buffer(buf, dtypes.as_dtype(arr.dtype), device))
-    return outputs

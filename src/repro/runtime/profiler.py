@@ -1,16 +1,20 @@
 """A per-operation profiler for the multi-stage workflow's Analysis step.
 
 Paper §4.1, step 2: "Using any profiling tool the user is familiar
-with, identify performance-critical blocks of operations".  This
-profiler hooks the kernel-dispatch points of both executors, so one
+with, identify performance-critical blocks of operations".  The
+profiler is a dispatch **interceptor**
+(:class:`repro.runtime.dispatch.OpInterceptor`) registered with the
+shared dispatch core for the duration of the ``with`` block, so one
 context manager covers imperative ops and the nodes of executing graph
-functions:
+functions — both executors funnel through the same dispatch path:
 
     with repro.profiler.Profile() as prof:
         train_step(batch)
     print(prof.summary())
 
-Overhead when inactive is a single module-attribute check per op.
+While no profiler is active the interceptor is not registered at all,
+so the inactive overhead is the dispatch core's single
+interceptor-stack emptiness check per op.
 """
 
 from __future__ import annotations
@@ -20,11 +24,31 @@ import time
 from dataclasses import dataclass, field
 from typing import Optional
 
+from repro.runtime import dispatch
+
 __all__ = ["Profile", "active", "record"]
 
 # The currently active profiler, or None.  Read on the hot path.
 active: Optional["Profile"] = None
 _lock = threading.Lock()
+
+
+class _ProfilerInterceptor(dispatch.OpInterceptor):
+    """Times every dispatched op for the active :class:`Profile`."""
+
+    name = "profiler"
+    modes = (dispatch.EAGER, dispatch.GRAPH)
+
+    def on_start(self, op_name, attrs, inputs, device):
+        return time.perf_counter()
+
+    def on_complete(self, op_name, attrs, inputs, outputs, device, token) -> None:
+        prof = active
+        if prof is not None:
+            prof.add(op_name, time.perf_counter() - token)
+
+
+_interceptor = _ProfilerInterceptor()
 
 
 @dataclass
@@ -53,12 +77,14 @@ class Profile:
             if active is not None:
                 raise RuntimeError("A profiler is already active")
             active = self
+        dispatch.core.register_interceptor(_interceptor)
         self._entered = time.perf_counter()
         return self
 
     def __exit__(self, *exc_info) -> None:
         global active
         self.wall_seconds = time.perf_counter() - self._entered
+        dispatch.core.unregister_interceptor(_interceptor)
         with _lock:
             active = None
 

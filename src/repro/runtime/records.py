@@ -1,11 +1,19 @@
-"""The tape-recording hook between the executor and autodiff.
+"""The tape-recording hook between the dispatch core and autodiff.
 
-The executor must notify active gradient tapes (paper §4.2) about every
+The runtime must notify active gradient tapes (paper §4.2) about every
 operation it runs, but the runtime layer cannot import the autodiff
 layer without creating a cycle.  This module holds the thread-local
 stack of *recorders* — duck-typed objects exposing
 ``should_record(inputs)`` and ``record(...)`` — that
 :mod:`repro.core.tape` pushes and pops.
+
+Recording integrates with execution as a dispatch **interceptor**
+(:class:`repro.runtime.dispatch.OpInterceptor`): while at least one
+recorder exists anywhere in the process, a single records interceptor
+is registered with the dispatch core and forwards each eager op
+(``on_complete``) and each staged op (``on_staged``) to
+:func:`record_operation`.  When no recorder exists the interceptor is
+unregistered, so tape-free programs pay nothing for this hook.
 
 Recording is mode-agnostic: tapes see concrete tensors when executing
 eagerly and symbolic tensors when an op runs inside a graph-building
@@ -16,6 +24,8 @@ from __future__ import annotations
 
 import threading
 from typing import Optional, Sequence
+
+from repro.runtime import dispatch
 
 __all__ = [
     "push_recorder",
@@ -36,14 +46,42 @@ class _RecorderStack(threading.local):
 _stack = _RecorderStack()
 
 
+class _RecordsInterceptor(dispatch.OpInterceptor):
+    """Offers executed and staged ops to the active gradient tapes."""
+
+    name = "records"
+    modes = (dispatch.EAGER, dispatch.STAGE)
+
+    def on_complete(self, op_name, attrs, inputs, outputs, device, token) -> None:
+        record_operation(op_name, attrs, inputs, outputs)
+
+    def on_staged(self, op_name, attrs, inputs, outputs) -> None:
+        record_operation(op_name, attrs, inputs, outputs)
+
+
+_interceptor = _RecordsInterceptor()
+_count_lock = threading.Lock()
+_total_recorders = 0  # across all threads; guards interceptor registration
+
+
 def push_recorder(recorder) -> None:
+    global _total_recorders
     _stack.recorders.append(recorder)
+    with _count_lock:
+        _total_recorders += 1
+        if _total_recorders == 1:
+            dispatch.core.register_interceptor(_interceptor)
 
 
 def pop_recorder(recorder) -> None:
+    global _total_recorders
     if not _stack.recorders or _stack.recorders[-1] is not recorder:
         raise RuntimeError("Recorder stack corrupted: popping a non-top recorder")
     _stack.recorders.pop()
+    with _count_lock:
+        _total_recorders -= 1
+        if _total_recorders == 0:
+            dispatch.core.unregister_interceptor(_interceptor)
 
 
 def active_recorders() -> list:

@@ -27,7 +27,7 @@ import numpy as np
 from repro.framework import dtypes
 from repro.framework.errors import UnimplementedError
 from repro.ops import registry
-from repro.runtime import executor as eager_executor
+from repro.runtime import dispatch
 from repro.runtime.device import Device
 from repro.tensor import Tensor, TensorSpec
 from repro.graph.function import GraphFunction, placeholder
@@ -143,12 +143,14 @@ def run_op_on_tpu(device: Device, op_name: str, inputs: Sequence, attrs: dict) -
 
 
 def install() -> None:
-    """Register the TPU bridge with the eager executor."""
-    eager_executor.set_compiled_op_runner(run_op_on_tpu)
+    """Register the TPU bridge as the op runner of every compilation
+    device — the device-level hook both executors reach through the
+    uniform :meth:`Device.dispatch` protocol."""
+    dispatch.core.install_compilation_runner(run_op_on_tpu)
 
 
 def uninstall() -> None:
-    eager_executor.set_compiled_op_runner(None)
+    dispatch.core.install_compilation_runner(None)
 
 
 def reset_caches() -> None:
