@@ -16,21 +16,36 @@ documented in DESIGN.md.  The user-facing semantics match the paper:
 remote devices appear in ``list_devices``-style resolution, ops placed
 with the same ``device`` context manager as local ones, results staying
 remote until fetched, and whole graph functions executable remotely.
+
+The remote boundary is fault-tolerant (DESIGN.md, "Fault tolerance"):
+requests carry deadlines, idempotent ops retry with backoff + jitter,
+workers expose queue-crossing health checks, shutdown drains pending
+requests with ``UnavailableError`` instead of hanging clients, and
+:class:`~repro.distribute.fault_injection.FaultInjector` provides
+drop/delay/fail/kill chaos hooks to prove all of the above.
 """
 
 from repro.distribute.cluster import ClusterSpec
+from repro.distribute.fault_injection import FaultInjector
 from repro.distribute.strategy import DataParallelStrategy, PerReplica
 from repro.distribute.worker import (
+    RetryPolicy,
     WorkerServer,
     connect_to_cluster,
+    get_retry_policy,
+    set_retry_policy,
     shutdown_cluster,
 )
 
 __all__ = [
     "ClusterSpec",
     "DataParallelStrategy",
+    "FaultInjector",
     "PerReplica",
+    "RetryPolicy",
     "WorkerServer",
     "connect_to_cluster",
+    "get_retry_policy",
+    "set_retry_policy",
     "shutdown_cluster",
 ]

@@ -17,7 +17,11 @@ from typing import Callable, Optional, Sequence
 import numpy as np
 
 from repro.framework import nest
-from repro.framework.errors import InvalidArgumentError
+from repro.framework.errors import (
+    DeadlineExceededError,
+    InvalidArgumentError,
+    UnavailableError,
+)
 from repro.runtime.context import context, device as device_scope
 from repro.ops import array_ops, math_ops
 from repro.tensor import Tensor, TensorBase, convert_to_tensor
@@ -60,13 +64,36 @@ class DataParallelStrategy:
         loss = strategy.reduce_mean(losses)
     """
 
-    def __init__(self, devices: Sequence[str]) -> None:
+    #: Exceptions that mean "this replica's worker is gone or stalled",
+    #: triggering degradation instead of plain propagation.
+    _REPLICA_FAILURES = (UnavailableError, DeadlineExceededError)
+
+    def __init__(
+        self, devices: Sequence[str], on_replica_failure: str = "fail"
+    ) -> None:
+        """Args:
+            devices: replica device names (local or remote).
+            on_replica_failure: what :meth:`run` does when a replica's
+                worker dies or stalls mid-step (``UnavailableError`` /
+                ``DeadlineExceededError``).  ``"fail"`` (default) raises
+                a clear ``UnavailableError`` naming the dead task;
+                ``"reshard"`` re-runs the failed replicas' shards on the
+                surviving replicas so the step still completes.  Either
+                way the step never hangs.
+        """
         if not devices:
             raise InvalidArgumentError("A strategy needs at least one device")
+        if on_replica_failure not in ("fail", "reshard"):
+            raise InvalidArgumentError(
+                "on_replica_failure must be 'fail' or 'reshard', "
+                f"got {on_replica_failure!r}"
+            )
         # Validate now so typos fail at construction.
         for name in devices:
             context.get_device(name)
         self.devices = list(devices)
+        self.on_replica_failure = on_replica_failure
+        self._reshard_events = 0
 
     @property
     def num_replicas(self) -> int:
@@ -101,39 +128,111 @@ class DataParallelStrategy:
         ``fn`` receives the replica's argument structure (or nothing).
         Returns the per-replica results; exceptions from any replica
         propagate.
+
+        When a replica's worker dies or stalls mid-step the strategy
+        degrades instead of hanging: with ``on_replica_failure="fail"``
+        it raises ``UnavailableError`` naming the dead task, with
+        ``"reshard"`` it re-runs the failed shards on the surviving
+        replicas (see :attr:`reshard_events`).
         """
-        results: list = [None] * self.num_replicas
-        errors: list = [None] * self.num_replicas
+        results, errors = self._run_on(
+            list(range(self.num_replicas)), self.devices, fn, per_replica_args
+        )
+        failed = [i for i in range(self.num_replicas) if errors[i] is not None]
+        if not failed:
+            return PerReplica(results)
 
-        def worker(index: int) -> None:
+        # Non-availability errors (a bug in fn, bad shapes, ...) are not
+        # degradation cases; propagate the first as before.
+        for i in failed:
+            if not isinstance(errors[i], self._REPLICA_FAILURES):
+                raise errors[i]
+
+        survivors = [
+            i
+            for i in range(self.num_replicas)
+            if errors[i] is None and self._replica_alive(i)
+        ]
+        if self.on_replica_failure == "fail" or not survivors:
+            first = failed[0]
+            raise UnavailableError(
+                f"Replica {first} ({self.devices[first]}) became unavailable "
+                f"during DataParallelStrategy.run ({len(failed)} of "
+                f"{self.num_replicas} replicas failed)"
+            ) from errors[first]
+
+        # Re-shard: run each failed replica's arguments on a surviving
+        # device (round-robin).  A failure here is no longer transient —
+        # it propagates as a clear UnavailableError.
+        self._reshard_events += 1
+        retry_devices = [
+            self.devices[survivors[k % len(survivors)]] for k in range(len(failed))
+        ]
+        retry_results, retry_errors = self._run_on(
+            failed, retry_devices, fn, per_replica_args
+        )
+        for k, i in enumerate(failed):
+            if retry_errors[k] is not None:
+                raise UnavailableError(
+                    f"Replica {i} ({self.devices[i]}) failed and its shard "
+                    f"could not be re-run on surviving device "
+                    f"{retry_devices[k]}"
+                ) from retry_errors[k]
+            results[i] = retry_results[k]
+        return PerReplica(results)
+
+    @property
+    def reshard_events(self) -> int:
+        """How many :meth:`run` calls degraded onto surviving replicas."""
+        return self._reshard_events
+
+    def _replica_alive(self, index: int) -> bool:
+        """Whether the replica's device can still accept work."""
+        try:
+            device = context.get_device(self.devices[index])
+        except Exception:  # noqa: BLE001 - resolver may be gone entirely
+            return False
+        server = getattr(device, "server", None)
+        return server is None or server.is_running
+
+    def _run_on(
+        self,
+        indices: Sequence[int],
+        devices: Sequence[str],
+        fn: Callable,
+        per_replica_args: Optional[PerReplica],
+    ) -> tuple[list, list]:
+        """Run replica ``indices`` on ``devices`` (parallel positions);
+        returns (results, errors) aligned with ``indices``."""
+        results: list = [None] * len(indices)
+        errors: list = [None] * len(indices)
+
+        def worker(pos: int) -> None:
             try:
-                with device_scope(self.devices[index]):
+                with device_scope(devices[pos]):
                     if per_replica_args is None:
-                        results[index] = fn()
+                        results[pos] = fn()
                     else:
-                        args = per_replica_args[index]
+                        args = per_replica_args[indices[pos]]
                         if isinstance(args, tuple):
-                            results[index] = fn(*args)
+                            results[pos] = fn(*args)
                         else:
-                            results[index] = fn(args)
-            except BaseException as exc:  # noqa: BLE001 - re-raised below
-                errors[index] = exc
+                            results[pos] = fn(args)
+            except BaseException as exc:  # noqa: BLE001 - handled by caller
+                errors[pos] = exc
 
-        if self.num_replicas == 1:
+        if len(indices) == 1:
             worker(0)
         else:
             threads = [
-                threading.Thread(target=worker, args=(i,), daemon=True)
-                for i in range(self.num_replicas)
+                threading.Thread(target=worker, args=(p,), daemon=True)
+                for p in range(len(indices))
             ]
             for t in threads:
                 t.start()
             for t in threads:
                 t.join()
-        for exc in errors:
-            if exc is not None:
-                raise exc
-        return PerReplica(results)
+        return results, errors
 
     # -- reductions --------------------------------------------------------------
     def _fetch_all(self, values: PerReplica) -> list:

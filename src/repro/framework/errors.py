@@ -17,6 +17,9 @@ __all__ = [
     "OutOfRangeError",
     "UnimplementedError",
     "InternalError",
+    "UnavailableError",
+    "DeadlineExceededError",
+    "AbortedError",
 ]
 
 
@@ -50,3 +53,31 @@ class UnimplementedError(ReproError, NotImplementedError):
 
 class InternalError(ReproError, RuntimeError):
     """An invariant inside the runtime was violated; indicates a bug."""
+
+
+class UnavailableError(ReproError, ConnectionError):
+    """The service (a worker, a remote device) is currently unavailable.
+
+    Raised when a request targets a worker that is shut down, killed, or
+    unreachable.  Maps to gRPC's ``UNAVAILABLE``: the caller may retry
+    against a different replica, but retrying the same endpoint is only
+    useful if the outage is transient.
+    """
+
+
+class DeadlineExceededError(ReproError, TimeoutError):
+    """A request did not complete within its deadline.
+
+    Maps to gRPC's ``DEADLINE_EXCEEDED``.  The operation may or may not
+    have executed on the server; only idempotent operations are safe to
+    retry.
+    """
+
+
+class AbortedError(ReproError, RuntimeError):
+    """The service aborted the request before completing it.
+
+    Maps to gRPC's ``ABORTED``: a transient server-side condition (a
+    conflict, an injected fault) interrupted the request.  Idempotent
+    operations are safe to retry.
+    """

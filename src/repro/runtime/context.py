@@ -72,6 +72,7 @@ class Context:
         self._uid = 0
         self._soft_device_placement = True
         self._inter_op_threads = self._threads_from_env()
+        self._rpc_deadline_ms = self._rpc_deadline_from_env()
         self._initialize_local_devices(num_gpus=num_gpus, num_tpus=num_tpus)
 
     @staticmethod
@@ -88,6 +89,17 @@ class Context:
                 f"REPRO_INTER_OP_THREADS must be >= 1, got {value}"
             )
         return value
+
+    @staticmethod
+    def _rpc_deadline_from_env() -> Optional[float]:
+        raw = os.environ.get("REPRO_RPC_DEADLINE_MS", "30000")
+        try:
+            value = float(raw)
+        except ValueError:
+            raise InvalidArgumentError(
+                f"REPRO_RPC_DEADLINE_MS must be a number, got {raw!r}"
+            ) from None
+        return value if value > 0 else None
 
     # -- placement / execution knobs --------------------------------------
     @property
@@ -124,6 +136,27 @@ class Context:
                 f"inter_op_parallelism_threads must be >= 1, got {value}"
             )
         self._inter_op_threads = value
+
+    @property
+    def rpc_deadline_ms(self) -> Optional[float]:
+        """Default per-request deadline for remote-worker operations.
+
+        Initialised from ``REPRO_RPC_DEADLINE_MS`` (default 30000).
+        ``None`` disables deadlines: remote requests wait forever, the
+        pre-fault-tolerance behaviour.  Individual requests can override
+        it via the ``deadline_ms`` argument of ``WorkerServer.run_op``.
+        """
+        return self._rpc_deadline_ms
+
+    @rpc_deadline_ms.setter
+    def rpc_deadline_ms(self, value: Optional[float]) -> None:
+        if value is not None:
+            value = float(value)
+            if value <= 0:
+                raise InvalidArgumentError(
+                    f"rpc_deadline_ms must be positive or None, got {value}"
+                )
+        self._rpc_deadline_ms = value
 
     # -- devices -----------------------------------------------------------
     def _initialize_local_devices(self, num_gpus: int, num_tpus: int) -> None:

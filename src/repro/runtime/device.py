@@ -308,12 +308,13 @@ class Device:
             if array.base is not None and array.base.flags.writeable:
                 array = array.copy()
             array.flags.writeable = False
-        # Stats without the lock: counters are advisory and the GIL makes
-        # the increments effectively atomic for our purposes.
-        self._bytes_in_use += array.nbytes
-        self._num_allocations += 1
-        if self._bytes_in_use > self._peak_bytes:
-            self._peak_bytes = self._bytes_in_use
+        # Remote workers and strategy replicas update these concurrently
+        # with coordinator-thread dispatches, so the stats take the lock.
+        with self._lock:
+            self._bytes_in_use += array.nbytes
+            self._num_allocations += 1
+            if self._bytes_in_use > self._peak_bytes:
+                self._peak_bytes = self._bytes_in_use
         return array
 
     def deallocate(self, nbytes: int) -> None:
@@ -331,8 +332,11 @@ class Device:
 
     # -- execution accounting ---------------------------------------------
     def count_kernel_launch(self) -> None:
-        # Advisory counter; GIL-atomic increment, no lock on the hot path.
-        self._kernel_launches += 1
+        # Worker threads and the coordinator both launch kernels on the
+        # same device, so even this counter takes the lock: `n += 1` is
+        # not atomic (read/modify/write interleaves across threads).
+        with self._lock:
+            self._kernel_launches += 1
 
     def charge_simulated_time(self, microseconds: float) -> None:
         with self._lock:

@@ -119,6 +119,23 @@ class OpInterceptor:
     ) -> None:
         """Called when an op is staged into a graph under construction."""
 
+    def on_retry(
+        self,
+        op_name: str,
+        attrs: dict,
+        inputs: Sequence,
+        device: Device,
+        attempt: int,
+        exc: BaseException,
+    ) -> None:
+        """Called when a remote op failed transiently and will be retried.
+
+        ``attempt`` is the 1-based number of the attempt that just
+        failed with ``exc``; the next attempt follows after backoff.
+        Observed regardless of ``modes`` — retries happen below the
+        eager/graph split, inside the remote-execution layer.
+        """
+
 
 class DispatchCore:
     """The single kernel-dispatch implementation (see module docstring)."""
@@ -130,6 +147,7 @@ class DispatchCore:
         self.eager_interceptors: tuple = ()
         self.graph_interceptors: tuple = ()
         self.stage_interceptors: tuple = ()
+        self.all_interceptors: tuple = ()
         # (op_name, device_kind, input_dtypes) -> kernel
         self._kernel_cache: dict = {}
         self._compilation_runner: Optional[Callable] = None
@@ -161,6 +179,7 @@ class DispatchCore:
         self.eager_interceptors = tuple(i for i in its if EAGER in i.modes)
         self.graph_interceptors = tuple(i for i in its if GRAPH in i.modes)
         self.stage_interceptors = tuple(i for i in its if STAGE in i.modes)
+        self.all_interceptors = tuple(its)
 
     def interceptor_names(self, mode: Optional[str] = None) -> list[str]:
         if mode is None:
@@ -330,6 +349,25 @@ class DispatchCore:
         """Offer a just-staged op to the ``"stage"``-mode interceptors."""
         for it in self.stage_interceptors:
             it.on_staged(op_name, attrs, inputs, outputs)
+
+    # -- retries -----------------------------------------------------------
+    def notify_retry(
+        self,
+        op_name: str,
+        attrs: dict,
+        inputs: Sequence,
+        device: Device,
+        attempt: int,
+        exc: BaseException,
+    ) -> None:
+        """Tell interceptors a remote op is being retried after ``exc``.
+
+        Called by the distribution layer's retry loop so cross-cutting
+        observers (the profiler) see retries without the retry policy
+        knowing about any of them.
+        """
+        for it in self.all_interceptors:
+            it.on_retry(op_name, attrs, inputs, device, attempt, exc)
 
 
 def wrap_outputs(results, device: Device) -> list:

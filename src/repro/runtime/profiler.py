@@ -47,6 +47,11 @@ class _ProfilerInterceptor(dispatch.OpInterceptor):
         if prof is not None:
             prof.add(op_name, time.perf_counter() - token)
 
+    def on_retry(self, op_name, attrs, inputs, device, attempt, exc) -> None:
+        prof = active
+        if prof is not None:
+            prof.add_retry(op_name)
+
 
 _interceptor = _ProfilerInterceptor()
 
@@ -68,6 +73,8 @@ class Profile:
 
     def __init__(self) -> None:
         self.ops: dict[str, OpStats] = {}
+        # Remote-op retry counts by op name (fault-tolerance layer).
+        self.retries: dict[str, int] = {}
         self._entered = 0.0
 
     # -- context manager --------------------------------------------------
@@ -95,6 +102,9 @@ class Profile:
             stats = self.ops[op_name] = OpStats()
         stats.count += 1
         stats.total_seconds += seconds
+
+    def add_retry(self, op_name: str) -> None:
+        self.retries[op_name] = self.retries.get(op_name, 0) + 1
 
     # -- reporting ----------------------------------------------------------
     @property
@@ -125,6 +135,12 @@ class Profile:
             f"{'total':<28}{self.total_ops:>8}"
             f"{self.total_op_seconds * 1e3:>12.2f}"
         )
+        if self.retries:
+            total_retries = sum(self.retries.values())
+            detail = ", ".join(
+                f"{name} x{count}" for name, count in sorted(self.retries.items())
+            )
+            lines.append(f"remote retries: {total_retries} ({detail})")
         return "\n".join(lines)
 
 

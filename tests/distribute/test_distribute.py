@@ -7,7 +7,7 @@ import pytest
 
 import repro
 from repro.distribute import ClusterSpec, connect_to_cluster, shutdown_cluster
-from repro.framework.errors import FailedPreconditionError, InvalidArgumentError
+from repro.framework.errors import InvalidArgumentError, UnavailableError
 
 
 @pytest.fixture
@@ -109,7 +109,7 @@ class TestLifecycle:
     def test_shutdown_rejects_new_work(self):
         workers = connect_to_cluster(ClusterSpec({"temp": 1}))
         shutdown_cluster()
-        with pytest.raises(FailedPreconditionError):
+        with pytest.raises(UnavailableError, match="shut down"):
             workers[0].run_op(
                 list(workers[0].devices.values())[0], "Add", [], {}
             )
