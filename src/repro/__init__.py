@@ -50,8 +50,10 @@ from repro.tensor import Tensor, TensorSpec, convert_to_tensor
 from repro.runtime import (
     device,
     executing_eagerly,
+    execution_mode,
     list_devices,
     set_random_seed,
+    sync,
 )
 
 # Importing ops registers the full operation set.

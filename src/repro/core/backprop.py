@@ -124,6 +124,13 @@ def imperative_grad(
             f"unconnected_gradients must be 'none' or 'zero', got "
             f"{unconnected_gradients!r}"
         )
+    # Async eager mode: the recorded forward ops may still be in flight.
+    # Replay must not start until they (and any deferred error) have
+    # landed — gradient computation is a synchronization point.
+    from repro.runtime.context import context as _runtime_context
+
+    if _runtime_context.async_eager and _runtime_context.executing_eagerly():
+        _runtime_context.sync()
     acc = _GradAccumulator()
     for target, seed in zip(targets, output_gradients):
         if target is None:
@@ -193,6 +200,12 @@ class ForwardBackward:
         diff_output_indices: which outputs receive seed gradients.
         input_grad_mask: per original input, whether backward_fn
             produces a gradient for it (None inputs get None).
+        boundary_indices: for each of backward_fn's leading inputs, the
+            index into forward_fn's outputs holding its value.  A
+            boundary tensor that is *also* a user output is not
+            duplicated as an extra forward output — a duplicated slot
+            would receive the incoming gradient twice and double the
+            result — so the indices may point into the user outputs.
     """
 
     forward_fn: GraphFunction
@@ -200,6 +213,7 @@ class ForwardBackward:
     num_outputs: int
     diff_output_indices: list[int]
     input_grad_mask: list[bool]
+    boundary_indices: list[int]
 
 
 class _ReplayGraph:
@@ -339,7 +353,16 @@ def build_forward_backward(fn: GraphFunction, optimize: bool = True) -> ForwardB
     out_grad_ids = {id(t) for t in out_grad_phs}
 
     # Boundary: forward-section tensors the backward section consumes.
+    # A boundary tensor that is already a user output (tanh, sqrt, ...
+    # gradients read the forward *output*) must not occupy a second
+    # forward-output slot: the tape would deliver the incoming gradient
+    # to both slots and the gradient would double.
+    output_pos: dict[int, int] = {}
+    for i, t in enumerate(new_outputs):
+        output_pos.setdefault(id(t), i)
     boundary: list = []
+    extra_outputs: list = []
+    boundary_indices: list[int] = []
     seen: set[int] = set()
 
     def note_boundary(t) -> None:
@@ -349,6 +372,12 @@ def build_forward_backward(fn: GraphFunction, optimize: bool = True) -> ForwardB
             return
         seen.add(id(t))
         boundary.append(t)
+        pos = output_pos.get(id(t))
+        if pos is None:
+            boundary_indices.append(len(new_outputs) + len(extra_outputs))
+            extra_outputs.append(t)
+        else:
+            boundary_indices.append(pos)
 
     for node in backward_nodes:
         for t in node.inputs:
@@ -360,7 +389,7 @@ def build_forward_backward(fn: GraphFunction, optimize: bool = True) -> ForwardB
     forward_fn = _extract(
         scratch.nodes[:marker],
         inputs=new_inputs,
-        outputs=list(new_outputs) + boundary,
+        outputs=list(new_outputs) + extra_outputs,
         name=f"{fn.name}_forward",
     )
 
@@ -386,6 +415,7 @@ def build_forward_backward(fn: GraphFunction, optimize: bool = True) -> ForwardB
         num_outputs=len(fn.outputs),
         diff_output_indices=diff_indices,
         input_grad_mask=input_grad_mask,
+        boundary_indices=boundary_indices,
     )
 
 

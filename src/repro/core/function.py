@@ -173,7 +173,6 @@ class ConcreteFunction:
         with records.suspend():
             results = list(call_graph_function(fb.forward_fn, full_inputs))
         user_outputs = results[: fb.num_outputs]
-        intermediates = results[fb.num_outputs :]
 
         def backward_function(*out_grads):
             from repro.core import backprop
@@ -196,8 +195,9 @@ class ConcreteFunction:
                 if g is None:
                     g = backprop.zero_seed(user_outputs[i])
                 seeds.append(g)
+            saved = [results[j] for j in fb.boundary_indices]
             produced = list(
-                call_graph_function(fb.backward_fn, intermediates + seeds)
+                call_graph_function(fb.backward_fn, saved + seeds)
             )
             grads = []
             it = iter(produced)

@@ -211,13 +211,22 @@ class DataParallelStrategy:
             try:
                 with device_scope(devices[pos]):
                     if per_replica_args is None:
-                        results[pos] = fn()
+                        out = fn()
                     else:
                         args = per_replica_args[indices[pos]]
                         if isinstance(args, tuple):
-                            results[pos] = fn(*args)
+                            out = fn(*args)
                         else:
-                            results[pos] = fn(args)
+                            out = fn(args)
+                    # Async eager: force pending outputs *inside* the
+                    # replica, so a worker that died mid-step surfaces
+                    # here — where the degradation logic can reshard —
+                    # not at some later observation of the value.
+                    for leaf in nest.flatten(out):
+                        materialize = getattr(leaf, "_materialize", None)
+                        if materialize is not None:
+                            materialize()
+                    results[pos] = out
             except BaseException as exc:  # noqa: BLE001 - handled by caller
                 errors[pos] = exc
 

@@ -13,8 +13,10 @@ from repro.runtime.context import (
     context,
     device,
     executing_eagerly,
+    execution_mode,
     list_devices,
     set_random_seed,
+    sync,
 )
 from repro.runtime.device import Device, DeviceSpec
 
@@ -23,8 +25,10 @@ __all__ = [
     "context",
     "device",
     "executing_eagerly",
+    "execution_mode",
     "list_devices",
     "set_random_seed",
+    "sync",
     "Device",
     "DeviceSpec",
 ]

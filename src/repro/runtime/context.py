@@ -34,8 +34,10 @@ __all__ = [
     "context",
     "device",
     "executing_eagerly",
+    "execution_mode",
     "list_devices",
     "set_random_seed",
+    "sync",
 ]
 
 
@@ -73,6 +75,7 @@ class Context:
         self._soft_device_placement = True
         self._inter_op_threads = self._threads_from_env()
         self._rpc_deadline_ms = self._rpc_deadline_from_env()
+        self._async_eager = self._async_from_env()
         self._initialize_local_devices(num_gpus=num_gpus, num_tpus=num_tpus)
 
     @staticmethod
@@ -101,7 +104,58 @@ class Context:
             ) from None
         return value if value > 0 else None
 
+    @staticmethod
+    def _async_from_env() -> bool:
+        raw = os.environ.get("REPRO_ASYNC_EAGER", "0").strip().lower()
+        return raw in ("1", "true", "yes", "on")
+
     # -- placement / execution knobs --------------------------------------
+    @property
+    def async_eager(self) -> bool:
+        """Whether eager ops execute asynchronously (read-only view)."""
+        return self._async_eager
+
+    @property
+    def executor_mode(self) -> str:
+        """``"sync"`` or ``"async"`` eager execution (paper §4.1, §4.4).
+
+        In async mode ``execute()`` enqueues each op on its device's
+        :class:`~repro.runtime.stream.ExecutionStream` and returns a
+        pending :class:`~repro.tensor.AsyncTensor` immediately; the
+        Python thread only waits when a value is observed.  Initialised
+        from ``REPRO_ASYNC_EAGER`` (default ``"sync"``).  The mode is
+        process-global, like TF's ``executor``: switch it between
+        training phases, not per-thread.
+        """
+        return "async" if self._async_eager else "sync"
+
+    @executor_mode.setter
+    def executor_mode(self, mode: str) -> None:
+        if mode not in ("sync", "async"):
+            raise InvalidArgumentError(
+                f'executor_mode must be "sync" or "async", got {mode!r}'
+            )
+        want_async = mode == "async"
+        if want_async == self._async_eager:
+            return
+        if not want_async:
+            # Leaving async mode is itself a synchronization point:
+            # drain in-flight ops (raising any deferred error) so sync
+            # mode starts from a quiescent runtime.
+            self.sync()
+        self._async_eager = want_async
+
+    def sync(self) -> None:
+        """Block until all asynchronously submitted ops have finished.
+
+        Re-raises the first undelivered deferred error, with the op
+        name attached.  A no-op in sync mode with nothing in flight.
+        """
+        stream_mod = sys.modules.get("repro.runtime.stream")
+        if stream_mod is None:
+            return  # nothing was ever executed asynchronously
+        stream_mod.sync_all_streams()
+
     @property
     def soft_device_placement(self) -> bool:
         """Fall back to CPU kernels for ops without an accelerator kernel."""
@@ -334,3 +388,50 @@ def list_devices() -> list[str]:
 def set_random_seed(seed: Optional[int]) -> None:
     """Set the global random seed for all stateful random operations."""
     context.set_random_seed(seed)
+
+
+def sync() -> None:
+    """Wait for all asynchronously dispatched operations to finish.
+
+    The explicit synchronization point of async eager mode: blocks
+    until every per-device execution stream (and every in-flight remote
+    op) has completed, re-raising the first deferred kernel error.
+    """
+    context.sync()
+
+
+class execution_mode:
+    """Context manager running a block under ``"sync"`` or ``"async"`` eager.
+
+    ::
+
+        with execution_mode("async"):
+            y = model(x)          # ops overlap with Python dispatch
+        # exiting restores the previous mode (draining if leaving async)
+
+    The underlying knob is process-global (see
+    :attr:`Context.executor_mode`); use this from the coordinating
+    thread only.
+    """
+
+    def __init__(self, mode: str) -> None:
+        if mode not in ("sync", "async"):
+            raise InvalidArgumentError(
+                f'execution_mode must be "sync" or "async", got {mode!r}'
+            )
+        self._mode = mode
+        self._previous: Optional[str] = None
+
+    def __enter__(self) -> "execution_mode":
+        self._previous = context.executor_mode
+        context.executor_mode = self._mode
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        try:
+            context.executor_mode = self._previous
+        except BaseException:
+            if exc_type is None:
+                raise
+            # An error is already propagating out of the block; the
+            # drain-on-exit deferred error must not mask it.

@@ -210,6 +210,8 @@ class Device:
         # single flag the dispatch core checks per op.
         self._op_runner: Optional[Callable] = None
         self._special_dispatch: bool = self.requires_compilation
+        # Lazily created execution stream for async eager mode.
+        self._stream = None
 
     # -- identity --------------------------------------------------------
     @property
@@ -268,6 +270,23 @@ class Device:
                 "no compiler is loaded (import repro.xla)"
             )
         return None
+
+    def execution_stream(self):
+        """This device's :class:`~repro.runtime.stream.ExecutionStream`.
+
+        Created on first use (devices in sync-only processes never start
+        a worker thread).  One stream per device serializes that
+        device's async ops in submission order.
+        """
+        stream = self._stream
+        if stream is None:
+            with self._lock:
+                stream = self._stream
+                if stream is None:
+                    from repro.runtime.stream import ExecutionStream
+
+                    stream = self._stream = ExecutionStream(self._name)
+        return stream
 
     # -- memory ------------------------------------------------------------
     def allocate(self, array: np.ndarray) -> np.ndarray:

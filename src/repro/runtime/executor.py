@@ -71,5 +71,12 @@ def execute(
         core.notify_staged(op_name, attrs, inputs, outputs)
         return outputs[0] if len(outputs) == 1 else tuple(outputs)
 
-    outputs = core.dispatch(op_name, inputs, attrs)
+    if context.async_eager:
+        # Async eager mode (§4.1, §4.4): enqueue on the device's
+        # execution stream and return pending tensors immediately; the
+        # value materializes in the background and the Python thread
+        # only waits when a value is observed.
+        outputs = core.dispatch_async(op_name, inputs, attrs)
+    else:
+        outputs = core.dispatch(op_name, inputs, attrs)
     return outputs[0] if len(outputs) == 1 else tuple(outputs)

@@ -76,6 +76,9 @@ class Profile:
         # Remote-op retry counts by op name (fault-tolerance layer).
         self.retries: dict[str, int] = {}
         self._entered = 0.0
+        # Async eager mode runs on_complete on stream worker threads, so
+        # several threads can add samples concurrently.
+        self._stats_lock = threading.Lock()
 
     # -- context manager --------------------------------------------------
     def __enter__(self) -> "Profile":
@@ -90,6 +93,13 @@ class Profile:
 
     def __exit__(self, *exc_info) -> None:
         global active
+        # Wait for asynchronously submitted ops before closing the books
+        # so their kernel timings land in this profile.  This only
+        # drains; deferred errors stay queued for the next sync point
+        # rather than erupting out of the `with` block.
+        from repro.runtime.stream import drain_all_streams
+
+        drain_all_streams()
         self.wall_seconds = time.perf_counter() - self._entered
         dispatch.core.unregister_interceptor(_interceptor)
         with _lock:
@@ -97,14 +107,16 @@ class Profile:
 
     # -- collection --------------------------------------------------------
     def add(self, op_name: str, seconds: float) -> None:
-        stats = self.ops.get(op_name)
-        if stats is None:
-            stats = self.ops[op_name] = OpStats()
-        stats.count += 1
-        stats.total_seconds += seconds
+        with self._stats_lock:
+            stats = self.ops.get(op_name)
+            if stats is None:
+                stats = self.ops[op_name] = OpStats()
+            stats.count += 1
+            stats.total_seconds += seconds
 
     def add_retry(self, op_name: str) -> None:
-        self.retries[op_name] = self.retries.get(op_name, 0) + 1
+        with self._stats_lock:
+            self.retries[op_name] = self.retries.get(op_name, 0) + 1
 
     # -- reporting ----------------------------------------------------------
     @property

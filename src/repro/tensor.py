@@ -28,7 +28,14 @@ from repro.framework.tensor_shape import TensorShape
 from repro.runtime.context import context
 from repro.runtime.device import Device
 
-__all__ = ["Tensor", "TensorBase", "TensorSpec", "convert_to_tensor", "unwrap_handle"]
+__all__ = [
+    "AsyncTensor",
+    "Tensor",
+    "TensorBase",
+    "TensorSpec",
+    "convert_to_tensor",
+    "unwrap_handle",
+]
 
 
 class _HandleBox:
@@ -346,6 +353,73 @@ class Tensor(TensorBase):
 
     def __str__(self) -> str:
         return self.__repr__()
+
+
+class AsyncTensor(Tensor):
+    """A tensor whose value is still being computed on an execution stream.
+
+    Async eager mode (§4.1: the runtime "executes operations
+    asynchronously, only forcing the Python thread to wait when a value
+    is observed") returns these from ``execute()``: the dtype and
+    (inferred) shape are known immediately, while the buffer
+    materializes in the background on the producing device's
+    :class:`~repro.runtime.stream.ExecutionStream`.
+
+    The class overrides the ``_array`` storage slot with a *blocking
+    property*, so every existing code path that touches a tensor's
+    buffer — ``.numpy()``, ``.item()``, ``bool()/float()/int()``,
+    kernels consuming the tensor, cross-device copies — is
+    automatically a synchronization point, with no changes at those
+    call sites.  If the producing op failed, the deferred error
+    (op name attached, original type preserved) re-raises here.
+    """
+
+    __slots__ = ("_handle", "_index", "_pending_shape", "_value")
+
+    @classmethod
+    def _pending(cls, handle, index: int, spec: "TensorSpec", device: Device) -> "AsyncTensor":
+        """A tensor for output ``index`` of the op behind ``handle``."""
+        t = cls.__new__(cls)
+        t._value = None
+        t._handle = handle
+        t._index = index
+        t._dtype = spec.dtype
+        t._pending_shape = TensorShape(spec.shape)
+        t._device = device
+        return t
+
+    @property
+    def _array(self) -> np.ndarray:
+        handle = self._handle
+        if handle is not None:
+            out = handle.output(self._index)
+            self._value = out._array
+            self._dtype = out._dtype
+            # Clear the handle only after _value is written: the GIL
+            # orders these stores, so a racing reader that sees a None
+            # handle is guaranteed to see the resolved buffer too.
+            self._handle = None
+        return self._value
+
+    def _materialize(self) -> "AsyncTensor":
+        """Block until the value is resident (or raise its deferred error)."""
+        self._array
+        return self
+
+    def is_ready(self) -> bool:
+        """Whether the value is available without blocking."""
+        handle = self._handle
+        return handle is None or handle.done()
+
+    @property
+    def shape(self) -> TensorShape:
+        # Shape queries block only when inference left dynamic dims
+        # (the "shape queries that need the value" sync point).
+        if self._handle is not None:
+            pending = self._pending_shape
+            if pending.is_fully_defined:
+                return pending
+        return TensorShape(self._array.shape)
 
 
 class TensorSpec:

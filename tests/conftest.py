@@ -1,4 +1,5 @@
-"""Shared fixtures: deterministic seeds and numeric-gradient helpers."""
+"""Shared fixtures: deterministic seeds, context-knob isolation, and
+numeric-gradient helpers (re-exported from :mod:`tests.harness.grad_check`)."""
 
 from __future__ import annotations
 
@@ -6,6 +7,12 @@ import numpy as np
 import pytest
 
 import repro
+from repro.runtime import dispatch, profiler
+from repro.runtime.context import Context, context
+
+# Kept importable from here for existing tests; the implementation
+# lives in the harness package now.
+from tests.harness.grad_check import numeric_gradient  # noqa: F401
 
 
 @pytest.fixture(autouse=True)
@@ -16,45 +23,56 @@ def _seed_everything():
     repro.set_random_seed(None)
 
 
+@pytest.fixture(autouse=True)
+def _reset_context_knobs():
+    """Restore every process-global execution knob after each test.
+
+    Tests flip ``executor_mode``, deadlines, placement policy, and
+    register dispatch interceptors; a test that fails (or just forgets
+    to clean up) must not leak that state into whichever test happens
+    to run next.
+    """
+    interceptors_before = tuple(dispatch.core._interceptors)
+    yield
+    # Async streams: wait for stragglers, then *discard* any deferred
+    # error — it belongs to the test that just finished, not the next.
+    import sys
+
+    stream_mod = sys.modules.get("repro.runtime.stream")
+    if stream_mod is not None:
+        stream_mod.drain_all_streams()
+        with stream_mod._streams_lock:
+            streams = list(stream_mod._streams)
+        for s in streams:
+            s.take_deferred()
+        with stream_mod._remote_lock:
+            stream_mod._remote_handles.clear()
+    # Execution knobs back to their environment-derived defaults.
+    context._async_eager = Context._async_from_env()
+    context.soft_device_placement = True
+    context.inter_op_parallelism_threads = Context._threads_from_env()
+    context.rpc_deadline_ms = Context._rpc_deadline_from_env()
+    # Interceptors registered during the test and never unregistered.
+    for it in tuple(dispatch.core._interceptors):
+        if it not in interceptors_before:
+            dispatch.core.unregister_interceptor(it)
+    # A profiler left active (a failed test inside `with Profile()`).
+    if profiler.active is not None:
+        with profiler._lock:
+            profiler.active = None
+
+
 @pytest.fixture
 def rng():
     return np.random.default_rng(42)
 
 
-def numeric_gradient(f, x: np.ndarray, eps: float = 1e-3) -> np.ndarray:
-    """Central-difference gradient of scalar-valued ``f`` at ``x``."""
-    x = np.asarray(x, dtype=np.float64)
-    grad = np.zeros_like(x)
-    flat = x.reshape(-1)
-    gflat = grad.reshape(-1)
-    for i in range(flat.size):
-        orig = flat[i]
-        flat[i] = orig + eps
-        hi = float(f(x.copy()))
-        flat[i] = orig - eps
-        lo = float(f(x.copy()))
-        flat[i] = orig
-        gflat[i] = (hi - lo) / (2 * eps)
-    return grad
-
-
 @pytest.fixture
 def grad_checker():
     """Compare tape gradients against central differences."""
+    from tests.harness.grad_check import check_gradient
 
     def check(op_fn, x_np, rtol=1e-2, atol=1e-3):
-        x_np = np.asarray(x_np, dtype=np.float64)
-
-        def scalar_fn(arr):
-            t = repro.constant(arr.astype(np.float64), dtype=repro.float64)
-            return repro.reduce_sum(op_fn(t)).numpy()
-
-        x = repro.constant(x_np, dtype=repro.float64)
-        with repro.GradientTape() as tape:
-            tape.watch(x)
-            y = repro.reduce_sum(op_fn(x))
-        analytic = tape.gradient(y, x).numpy()
-        numeric = numeric_gradient(scalar_fn, x_np)
-        np.testing.assert_allclose(analytic, numeric, rtol=rtol, atol=atol)
+        check_gradient(op_fn, x_np, rtol=rtol, atol=atol)
 
     return check

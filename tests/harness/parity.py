@@ -1,0 +1,384 @@
+"""Differential testing of execution modes.
+
+One program, three runtimes: the same Python function is executed
+sync-eager, async-eager (per-device streams, §4.1/§4.4), and staged
+through ``repro.function`` (§3.1).  The paper's central claim is that
+staging is a *semantics-preserving* performance knob; asynchronous
+execution makes the same promise for eager dispatch.  Each
+:class:`Program` in :data:`CORPUS` is therefore run in all three modes
+and both its outputs and its tape gradients must agree to tight
+tolerances.
+
+The corpus is deliberately small programs — elementwise chains, dense
+layers, softmax losses, convolutions, data-dependent control flow, an
+RNN cell — because differential testing wants many *distinct shapes of
+computation*, not large ones.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+import numpy as np
+
+import repro
+from repro.ops import nn_ops
+
+__all__ = ["CORPUS", "MODES", "Program", "assert_parity", "run_program"]
+
+MODES = ("sync", "async", "staged")
+
+# Per-dtype comparison tolerances.  Mode changes may legally reorder
+# float reductions, so exact bit equality is not required; disagreement
+# beyond these bounds means a kernel or gradient diverged.
+_TOLERANCES = {
+    "float32": dict(rtol=1e-5, atol=1e-5),
+    "float64": dict(rtol=1e-9, atol=1e-11),
+}
+
+
+@dataclass(frozen=True)
+class Program:
+    """One differential-test case.
+
+    Attributes:
+        name: test id.
+        make_inputs: draws the (float) input arrays from a seeded rng;
+            every input is tape-watched and differentiated.
+        fn: the program body, ``fn(*tensors) -> tensor``.  Must be
+            traceable by ``repro.function`` (no Python side effects).
+        dtypes: dtypes the program is exercised under.
+    """
+
+    name: str
+    make_inputs: Callable[[np.random.Generator], Sequence[np.ndarray]]
+    fn: Callable
+    dtypes: tuple = ("float32", "float64")
+
+
+def run_program(program: Program, mode: str, dtype: str):
+    """Run ``program`` under ``mode``; return (output, gradients) as ndarrays.
+
+    The gradient is of ``reduce_sum(fn(*inputs))`` with respect to every
+    input, so each mode exercises its backward path too (for async mode
+    the tape records pending tensors at submission and synchronizes at
+    ``gradient()`` — both ends of the tentpole's contract).
+    """
+    if mode not in MODES:
+        raise ValueError(f"unknown mode {mode!r}")
+    arrays = program.make_inputs(np.random.default_rng(0))
+    dt = getattr(repro, dtype)
+    fn = repro.function(program.fn) if mode == "staged" else program.fn
+    with repro.execution_mode("async" if mode == "async" else "sync"):
+        tensors = [repro.constant(a, dtype=dt) for a in arrays]
+        with repro.GradientTape() as tape:
+            for t in tensors:
+                tape.watch(t)
+            out = fn(*tensors)
+            loss = repro.reduce_sum(out)
+        grads = tape.gradient(loss, tensors)
+        out_np = np.asarray(out.numpy())
+        grads_np = [None if g is None else np.asarray(g.numpy()) for g in grads]
+    return out_np, grads_np
+
+
+def assert_parity(program: Program, dtype: str) -> None:
+    """Assert outputs and gradients agree across all three modes."""
+    tol = _TOLERANCES[dtype]
+    ref_out, ref_grads = run_program(program, "sync", dtype)
+    for mode in ("async", "staged"):
+        out, grads = run_program(program, mode, dtype)
+        np.testing.assert_allclose(
+            out,
+            ref_out,
+            **tol,
+            err_msg=f"{program.name}: {mode} output diverged from sync eager",
+        )
+        assert len(grads) == len(ref_grads)
+        for i, (g, ref) in enumerate(zip(grads, ref_grads)):
+            assert (g is None) == (ref is None), (
+                f"{program.name}: {mode} gradient {i} connectivity differs "
+                f"from sync eager"
+            )
+            if ref is not None:
+                np.testing.assert_allclose(
+                    g,
+                    ref,
+                    **tol,
+                    err_msg=f"{program.name}: {mode} gradient {i} diverged "
+                    f"from sync eager",
+                )
+
+
+# -- the corpus --------------------------------------------------------------
+
+
+def _p(name: str, make_inputs, fn, **kwargs) -> Program:
+    return Program(name=name, make_inputs=make_inputs, fn=fn, **kwargs)
+
+
+def _vec(n):
+    return lambda rng: [rng.normal(size=(n,))]
+
+
+def _mat(*shape):
+    return lambda rng: [rng.normal(size=shape)]
+
+
+# Elementwise chains ---------------------------------------------------------
+
+
+def _chain_long(x):
+    for _ in range(10):
+        x = repro.tanh(x * 1.1 + 0.1)
+    return x
+
+
+def _polynomial(x):
+    return 3.0 * x * x * x - 2.0 * x * x + x - 5.0
+
+
+def _smooth_abs(x):
+    return repro.sqrt(repro.square(x) + 1e-4)
+
+
+def _sigmoid_tanh_mix(x):
+    return repro.sigmoid(x) * repro.tanh(x) + repro.exp(-repro.square(x))
+
+
+def _log1p_exp(x):
+    return repro.log1p(repro.exp(x))  # softplus, written long-hand
+
+
+# Linear algebra -------------------------------------------------------------
+
+
+def _matmul_bias_relu(x, w, b):
+    return nn_ops.relu(nn_ops.bias_add(repro.matmul(x, w), b))
+
+
+def _matmul_chain(x, w1, w2):
+    return repro.matmul(repro.matmul(x, w1), w2)
+
+
+def _mlp_two_layer(x, w1, b1, w2, b2):
+    h = repro.tanh(nn_ops.bias_add(repro.matmul(x, w1), b1))
+    return nn_ops.bias_add(repro.matmul(h, w2), b2)
+
+
+def _transpose_matmul(x, w):
+    return repro.matmul(x, w, transpose_b=True)
+
+
+def _einsum_bilinear(x, a, y):
+    return repro.einsum("bi,ij,bj->b", x, a, y)
+
+
+# Reductions and softmax -----------------------------------------------------
+
+
+def _softmax_xent(logits):
+    labels = repro.constant(
+        np.eye(4, dtype=np.float64)[[0, 2, 1]], dtype=logits.dtype
+    )
+    return nn_ops.softmax_cross_entropy_with_logits(labels, logits)
+
+
+def _log_softmax_nll(logits):
+    return -repro.reduce_sum(nn_ops.log_softmax(logits), axis=-1)
+
+
+def _normalize_rows(x):
+    mean = repro.reduce_mean(x, axis=1, keepdims=True)
+    centered = x - mean
+    var = repro.reduce_mean(repro.square(centered), axis=1, keepdims=True)
+    return centered * repro.rsqrt(var + 1e-5)
+
+
+def _logsumexp_margin(x):
+    return repro.reduce_logsumexp(x, axis=-1) - repro.reduce_max(x, axis=-1)
+
+
+# Shape surgery --------------------------------------------------------------
+
+
+def _reshape_transpose(x):
+    return repro.transpose(repro.reshape(x, (3, 4)))
+
+
+def _concat_then_scale(x, y):
+    joined = repro.concat([x, y], axis=0)
+    return joined * repro.cast(repro.range(6), joined.dtype)
+
+
+def _split_then_mix(x):
+    a, b = repro.split(x, 2, axis=0)
+    return a * 2.0 + b * 3.0
+
+
+def _gather_rows(x):
+    return repro.gather(x, repro.constant([2, 0, 1], dtype=repro.int32))
+
+
+def _pad_and_sum(x):
+    return repro.reduce_sum(repro.pad(x, [[1, 1], [0, 2]]), axis=0)
+
+
+def _broadcast_outer(x, y):
+    return repro.expand_dims(x, 1) * repro.expand_dims(y, 0)
+
+
+# Control flow ---------------------------------------------------------------
+
+
+def _cond_branch(x):
+    return repro.cond(
+        repro.reduce_sum(x) > 0.0, lambda: x * 2.0, lambda: x * 0.5
+    )
+
+
+def _while_power(x):
+    def body(i, acc):
+        return i + 1, acc * x
+
+    _, out = repro.while_loop(
+        lambda i, acc: i < 3,
+        body,
+        (repro.constant(0), repro.ones_like(x)),
+    )
+    return out
+
+
+def _while_accumulate(x):
+    def body(i, acc):
+        return i + 1, acc + x * repro.cast(i + 1, x.dtype)
+
+    _, out = repro.while_loop(
+        lambda i, acc: i < 4,
+        body,
+        (repro.constant(0), repro.zeros_like(x)),
+    )
+    return out
+
+
+# Small networks -------------------------------------------------------------
+
+
+def _rnn_cell_step(x, h, wx, wh, b):
+    return repro.tanh(repro.matmul(x, wx) + repro.matmul(h, wh) + b)
+
+
+def _rnn_three_steps(x, wx, wh, b):
+    h = repro.zeros_like(repro.matmul(x, wx))
+    for _ in range(3):
+        h = repro.tanh(repro.matmul(x, wx) + repro.matmul(h, wh) + b)
+    return h
+
+
+def _conv_relu_pool(img, filt):
+    y = nn_ops.relu(nn_ops.conv2d(img, filt, strides=1, padding="SAME"))
+    return nn_ops.max_pool2d(y, ksize=2, strides=2)
+
+
+CORPUS = [
+    _p("scale_shift", _vec(8), lambda x: x * 2.0 + 1.0),
+    _p("chain_long", _vec(8), _chain_long),
+    _p("polynomial", _vec(8), _polynomial),
+    _p("smooth_abs", _vec(8), _smooth_abs),
+    _p("sigmoid_tanh_mix", _vec(8), _sigmoid_tanh_mix),
+    _p("log1p_exp", _vec(8), _log1p_exp),
+    _p(
+        "matmul_bias_relu",
+        lambda rng: [
+            rng.normal(size=(3, 4)),
+            rng.normal(size=(4, 5)),
+            rng.normal(size=(5,)),
+        ],
+        _matmul_bias_relu,
+    ),
+    _p(
+        "matmul_chain",
+        lambda rng: [
+            rng.normal(size=(3, 4)),
+            rng.normal(size=(4, 4)),
+            rng.normal(size=(4, 2)),
+        ],
+        _matmul_chain,
+    ),
+    _p(
+        "mlp_two_layer",
+        lambda rng: [
+            rng.normal(size=(2, 3)),
+            rng.normal(size=(3, 5)),
+            rng.normal(size=(5,)),
+            rng.normal(size=(5, 2)),
+            rng.normal(size=(2,)),
+        ],
+        _mlp_two_layer,
+    ),
+    _p(
+        "transpose_matmul",
+        lambda rng: [rng.normal(size=(3, 4)), rng.normal(size=(5, 4))],
+        _transpose_matmul,
+    ),
+    _p(
+        "einsum_bilinear",
+        lambda rng: [
+            rng.normal(size=(2, 3)),
+            rng.normal(size=(3, 4)),
+            rng.normal(size=(2, 4)),
+        ],
+        _einsum_bilinear,
+    ),
+    _p("softmax_xent", _mat(3, 4), _softmax_xent),
+    _p("log_softmax_nll", _mat(3, 4), _log_softmax_nll),
+    _p("normalize_rows", _mat(3, 5), _normalize_rows),
+    _p("logsumexp_margin", _mat(3, 5), _logsumexp_margin),
+    _p("reshape_transpose", _vec(12), _reshape_transpose),
+    _p(
+        "concat_then_scale",
+        lambda rng: [rng.normal(size=(3,)), rng.normal(size=(3,))],
+        _concat_then_scale,
+    ),
+    _p("split_then_mix", _vec(6), _split_then_mix),
+    _p("gather_rows", _mat(4, 3), _gather_rows),
+    _p("pad_and_sum", _mat(2, 3), _pad_and_sum),
+    _p(
+        "broadcast_outer",
+        lambda rng: [rng.normal(size=(3,)), rng.normal(size=(4,))],
+        _broadcast_outer,
+    ),
+    _p("cond_branch", _vec(6), _cond_branch),
+    _p("while_power", _vec(5), _while_power),
+    _p("while_accumulate", _vec(5), _while_accumulate),
+    _p(
+        "rnn_cell_step",
+        lambda rng: [
+            rng.normal(size=(2, 3)),
+            rng.normal(size=(2, 4)),
+            rng.normal(size=(3, 4)),
+            rng.normal(size=(4, 4)),
+            rng.normal(size=(4,)),
+        ],
+        _rnn_cell_step,
+    ),
+    _p(
+        "rnn_three_steps",
+        lambda rng: [
+            rng.normal(size=(2, 3)),
+            rng.normal(size=(3, 3)),
+            rng.normal(size=(3, 3)),
+            rng.normal(size=(3,)),
+        ],
+        _rnn_three_steps,
+    ),
+    _p(
+        "conv_relu_pool",
+        lambda rng: [
+            rng.normal(size=(1, 4, 4, 2)),
+            rng.normal(size=(2, 2, 2, 3)),
+        ],
+        _conv_relu_pool,
+    ),
+]

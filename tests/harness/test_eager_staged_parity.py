@@ -1,0 +1,50 @@
+"""Eager/async/staged differential tests over the parity corpus.
+
+Every program in :data:`tests.harness.parity.CORPUS` runs three times —
+sync eager, async eager, ``repro.function``-staged — and must produce
+identical outputs *and* identical input gradients.  A failure here
+localizes immediately: the program is tiny and the diverging mode is in
+the test id.
+"""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.tensor import AsyncTensor
+from tests.harness.parity import CORPUS, MODES, assert_parity, run_program
+
+_IDS = [p.name for p in CORPUS]
+
+
+def test_corpus_is_large_enough():
+    # The differential harness only earns its keep with real coverage.
+    assert len(CORPUS) >= 20
+    assert len(_IDS) == len(set(_IDS)), "duplicate program names"
+
+
+@pytest.mark.parametrize("dtype", ["float32", "float64"])
+@pytest.mark.parametrize("program", CORPUS, ids=_IDS)
+def test_modes_agree(program, dtype):
+    if dtype not in program.dtypes:
+        pytest.skip(f"{program.name} not defined for {dtype}")
+    assert_parity(program, dtype)
+
+
+def test_async_mode_actually_defers():
+    """The harness must genuinely exercise the async runtime: a plain
+    elementwise program yields pending tensors under ``async`` mode."""
+    with repro.execution_mode("async"):
+        x = repro.constant([1.0, 2.0, 3.0])
+        y = x * 2.0 + 1.0
+        assert isinstance(y, AsyncTensor)
+        np.testing.assert_allclose(y.numpy(), [3.0, 5.0, 7.0])
+
+
+def test_run_program_rejects_unknown_mode():
+    with pytest.raises(ValueError, match="unknown mode"):
+        run_program(CORPUS[0], "turbo", "float32")
+
+
+def test_modes_tuple_is_the_public_contract():
+    assert MODES == ("sync", "async", "staged")

@@ -98,6 +98,7 @@ class TestKernelCache:
         dispatch.core.clear_kernel_cache()
         x = repro.constant(1.0)
         repro.add(x, x)
+        repro.sync()  # async mode resolves the kernel on the stream worker
         key = ("Add", "CPU", (repro.float32, repro.float32))
         assert key in dispatch.core._kernel_cache
         assert dispatch.core._kernel_cache[key] is registry.get_kernel("Add", "CPU")
@@ -143,6 +144,7 @@ class TestInterceptors:
         registered(_Tracing("a", events), _Tracing("b", events))
         x = repro.constant(1.0)
         repro.add(x, x)
+        repro.sync()  # async mode runs the hooks on the stream worker
         assert events == [
             ("a", "start", "Add"),
             ("b", "start", "Add"),
@@ -228,6 +230,7 @@ class TestInterceptorErrorPaths:
         dispatch.core.clear_kernel_cache()
         x = repro.constant(1.0)
         repro.add(x, x)  # warm the cache
+        repro.sync()  # async mode: the worker populates the cache
         size_before = dispatch.core.kernel_cache_size()
 
         boom = _RaisingInterceptor()
@@ -235,6 +238,7 @@ class TestInterceptorErrorPaths:
         try:
             with pytest.raises(RuntimeError, match="interceptor exploded"):
                 repro.add(x, x)
+                repro.sync()  # async mode defers the error to the sync point
         finally:
             dispatch.core.unregister_interceptor(boom)
 
