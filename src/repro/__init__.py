@@ -151,9 +151,11 @@ from repro.ops.control_flow import cond, while_loop
 from repro.ops.script_ops import py_func
 
 from repro.core import (
+    CompilationPipeline,
     ConcreteFunction,
     FuncGraph,
     GradientTape,
+    RetraceWarning,
     Variable,
     function,
     init_scope,

@@ -3,8 +3,12 @@
 * :mod:`repro.core.tracing` — graph-building contexts (``FuncGraph``)
   and the ``init_scope`` escape (paper §4.6–4.7).
 * :mod:`repro.core.function` — the polymorphic ``function`` decorator:
-  trace cache, binding-time analysis, input signatures, lexical
-  closure capture, state-creation contract (§4.6).
+  two-level trace cache (exact + shape-relaxed), binding-time analysis,
+  input signatures, lexical closure capture, state-creation contract
+  (§4.6).
+* :mod:`repro.core.pipeline` — the staged-compilation pipeline
+  (trace → infer → optimize → plan → compile) with symbolic-shape
+  specialization.
 * :mod:`repro.core.tape` / :mod:`repro.core.backprop` — tape-based
   reverse-mode automatic differentiation with staged forward/backward
   functions (§4.2).
@@ -12,7 +16,8 @@
 * :mod:`repro.core.checkpoint` — graph-based state matching (§4.3).
 """
 
-from repro.core.function import function, ConcreteFunction
+from repro.core.function import function, ConcreteFunction, RetraceWarning
+from repro.core.pipeline import CompilationPipeline
 from repro.core.tape import GradientTape
 from repro.core.tracing import init_scope, FuncGraph
 from repro.core.variables import Variable
@@ -20,7 +25,9 @@ from repro.core.variables import Variable
 __all__ = [
     "function",
     "ConcreteFunction",
+    "CompilationPipeline",
     "GradientTape",
+    "RetraceWarning",
     "init_scope",
     "FuncGraph",
     "Variable",

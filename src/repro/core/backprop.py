@@ -216,61 +216,18 @@ class ForwardBackward:
     boundary_indices: list[int]
 
 
-class _ReplayGraph:
-    """Factory for the scratch graph used by forward/backward building.
-
-    Concrete tensors that gradient rules create (scalar factors, shape
-    vectors) are interned as ``Const`` nodes rather than captured as
-    hidden placeholders, so the extracted functions are self-contained.
-    """
-
-    @staticmethod
-    def make(name: str):
-        from repro.core.tracing import FuncGraph
-        from repro.graph.graph import Graph
-
-        class _G(FuncGraph):
-            def _capture_concrete(self, t):
-                return Graph._capture_concrete(self, t)
-
-        return _G(name=name)
-
-
 def _replay(fn: GraphFunction, scratch, tape) -> tuple[list, dict, list]:
     """Re-execute fn's nodes symbolically into ``scratch`` under ``tape``.
 
+    Thin wrapper over the shared :func:`repro.core.tracing.replay_into`
+    (also used by the pipeline's shape-specialization stage) that
+    watches every replayed input on the tape.
+
     Returns (new input placeholders, old->new tensor map, new outputs).
     """
-    from repro.runtime.executor import execute
+    from repro.core.tracing import replay_into
 
-    input_positions = {id(t): i for i, t in enumerate(fn.inputs)}
-    new_inputs = [scratch.add_input(spec, name=f"x_{i}") for i, spec in enumerate(fn.input_specs)]
-    mapping: dict[int, object] = {}
-    for t, new in zip(fn.inputs, new_inputs):
-        mapping[id(t)] = new
-        tape.watch(new)
-    for node in fn.graph.nodes:
-        if node.op_name == "Placeholder":
-            out = node.outputs[0]
-            if id(out) not in mapping:
-                raise InternalError(
-                    f"Placeholder {node.name!r} is not among the function inputs"
-                )
-            continue
-        inputs = [mapping[id(t)] for t in node.inputs]
-        scratch.push_device(node.device)
-        try:
-            outputs = execute(node.op_name, inputs, node.attrs, name=node.name)
-        finally:
-            scratch.pop_device()
-        if not isinstance(outputs, tuple):
-            outputs = (outputs,) if outputs is not None else ()
-        if outputs == () and node.outputs:
-            raise InternalError(f"Replay of {node.op_name!r} lost outputs")
-        for old, new in zip(node.outputs, outputs):
-            mapping[id(old)] = new
-    new_outputs = [mapping[id(t)] for t in fn.outputs]
-    return new_inputs, mapping, new_outputs
+    return replay_into(fn, scratch, on_input=tape.watch)
 
 
 def _extract(nodes: Sequence, inputs: Sequence, outputs: Sequence, name: str) -> GraphFunction:
@@ -318,9 +275,9 @@ def _extract(nodes: Sequence, inputs: Sequence, outputs: Sequence, name: str) ->
 def build_forward_backward(fn: GraphFunction, optimize: bool = True) -> ForwardBackward:
     """Construct the forward-with-intermediates and backward functions."""
     from repro.core.tape import GradientTape
-    from repro.core.tracing import FuncGraph
+    from repro.core.tracing import ReplayGraph
 
-    scratch = _ReplayGraph.make(f"{fn.name}_fb")
+    scratch = ReplayGraph(name=f"{fn.name}_fb")
     tape = GradientTape(persistent=True, watch_accessed_variables=False)
     with scratch.as_default():
         with tape:
@@ -427,9 +384,9 @@ def build_rematerializing_backward(fn: GraphFunction) -> tuple[GraphFunction, li
     original inputs plus output gradients and recomputes what it needs.
     """
     from repro.core.tape import GradientTape
-    from repro.core.tracing import FuncGraph
+    from repro.core.tracing import ReplayGraph
 
-    scratch = _ReplayGraph.make(f"{fn.name}_remat")
+    scratch = ReplayGraph(name=f"{fn.name}_remat")
     tape = GradientTape(persistent=True, watch_accessed_variables=False)
     with scratch.as_default():
         with tape:

@@ -24,13 +24,25 @@ The moving parts, each mirroring a paragraph of §4.6:
 * **Tape integration** — calling a concrete function under a watching
   tape runs the *forward* variant (outputs + intermediates) and records
   a custom backward that invokes a staged backward function (§4.2).
+* **Shape relaxation** — the trace cache is two-level.  The first level
+  is an exact LRU map over concrete signatures.  On repeated shape-only
+  misses of the same dtype/rank pattern, the second level installs a
+  single *symbolic* trace whose varying dimensions are generalized to
+  ``None`` (``experimental_relax_shapes`` / ``REPRO_RELAX_SHAPES``);
+  further calls with any compatible shape hit that one trace.  Each
+  trace flows through the staged-compilation pipeline
+  (:mod:`repro.core.pipeline`): trace → infer → optimize → plan →
+  compile, with per-concrete-shape XLA specialization under a symbolic
+  trace.
 """
 
 from __future__ import annotations
 
+import collections
 import functools
 import inspect
 import threading
+import warnings
 from typing import Callable, Optional, Sequence
 
 import numpy as np
@@ -44,10 +56,49 @@ from repro.runtime import records
 from repro.runtime.context import context
 from repro.tensor import Tensor, TensorBase, TensorSpec, convert_to_tensor
 from repro.core import tracing
+from repro.core.pipeline import CompilationPipeline
 from repro.core.variables import Variable, variable_creation_observer
 from repro.graph.function import GraphFunction
 
-__all__ = ["function", "Function", "ConcreteFunction"]
+__all__ = ["function", "Function", "ConcreteFunction", "RetraceWarning"]
+
+
+class RetraceWarning(UserWarning):
+    """Issued when a Function keeps retracing on recent calls.
+
+    Retracing re-runs the Python function and all compilation stages;
+    a high retrace rate usually means tensor shapes (or Python-value
+    arguments) vary call-to-call.  The warning names the cache-key leaf
+    that differed so the offending argument is identifiable.
+    """
+
+
+#: Sliding window of recent calls inspected for retrace churn.
+_RETRACE_WINDOW = 10
+#: Number of traces within the window that triggers a warning.
+_RETRACE_THRESHOLD = 5
+#: Minimum calls between two warnings for the same Function.
+_RETRACE_WARN_INTERVAL = 32
+
+
+def _describe_key_leaf(leaf) -> str:
+    if isinstance(leaf, tuple) and leaf and leaf[0] == "tensor":
+        dtype, shape = leaf[1], leaf[2]
+        return f"tensor<{getattr(dtype, 'name', dtype)}, shape={shape}>"
+    return repr(leaf)
+
+
+def _diff_cache_keys(prev: tuple, new: tuple) -> str:
+    """Human-readable first difference between two trace-cache keys."""
+    if prev[0] != new[0]:
+        return f"device changed: {prev[0]!r} -> {new[0]!r}"
+    for i, (a, b) in enumerate(zip(prev[1:], new[1:])):
+        if a != b:
+            return (
+                f"argument leaf #{i} changed: "
+                f"{_describe_key_leaf(a)} -> {_describe_key_leaf(b)}"
+            )
+    return f"argument count changed: {len(prev) - 1} -> {len(new) - 1}"
 
 
 class ConcreteFunction:
@@ -61,6 +112,7 @@ class ConcreteFunction:
         output_structure,
         num_explicit_inputs: int,
         jit_compile: bool = False,
+        pipeline: Optional[CompilationPipeline] = None,
     ) -> None:
         self.name = name
         self.func_graph = graph
@@ -74,7 +126,14 @@ class ConcreteFunction:
         self.output_structure = output_structure
         self.num_explicit_inputs = num_explicit_inputs
         self.jit_compile = jit_compile
-        self._compiled = None
+        self.pipeline = pipeline if pipeline is not None else CompilationPipeline()
+        # XLA executables per concrete input-shape tuple.  A fully static
+        # trace has exactly one entry (key None); a symbolic (relaxed)
+        # trace lazily specializes one executable per shape it actually
+        # sees, all under this single trace.  ``False`` marks
+        # uncompilable (e.g. py_func inside; fall back to the plan).
+        self._compiled_cache: dict = {}
+        self._compile_lock = threading.Lock()
         self._forward_backward = None
         self._fb_lock = threading.Lock()
 
@@ -102,24 +161,76 @@ class ConcreteFunction:
 
     def _call_plain(self, full_inputs: list) -> list:
         if self.jit_compile:
-            compiled = self._get_compiled()
+            compiled = self._get_compiled(full_inputs)
             if compiled is not None:
                 return self._call_compiled(compiled, full_inputs)
         from repro.ops.functional_ops import call_graph_function
 
         return list(call_graph_function(self.graph_function, full_inputs))
 
-    def _get_compiled(self):
-        """The XLA-sim executable for this trace (None if uncompilable)."""
-        if self._compiled is None:
-            from repro.framework.errors import UnimplementedError
-            from repro.xla.compiler import compile_function
+    @property
+    def _compiled(self):
+        """The executable of a fully static trace (compat accessor).
 
-            try:
-                self._compiled = compile_function(self.graph_function)
-            except UnimplementedError:
-                self._compiled = False  # e.g. py_func inside; fall back
-        return self._compiled or None
+        Symbolic traces hold one executable per concrete shape in
+        ``_compiled_cache``; this view exposes the single static-shape
+        entry the way the pre-pipeline attribute did (None = not yet
+        compiled, False = uncompilable).
+        """
+        return self._compiled_cache.get(None)
+
+    def _compile_key(self, full_inputs: list):
+        """Per-shape cache key: None when this trace is fully static."""
+        if all(spec.is_fully_defined for spec in self.graph_function.input_specs):
+            return None
+        return tuple(t.shape.as_tuple() for t in full_inputs)
+
+    def _get_compiled(self, full_inputs: list):
+        """The XLA-sim executable for these inputs (None if uncompilable).
+
+        XLA needs static shapes (its cost model and fusion heuristics
+        consume byte counts), so a symbolic trace is specialized to the
+        concrete input shapes via the pipeline before compiling; the
+        resulting executable is cached per shape tuple.
+        """
+        key = self._compile_key(full_inputs)
+        with self._compile_lock:
+            compiled = self._compiled_cache.get(key)
+            if compiled is None:
+                from repro.framework.errors import UnimplementedError
+
+                try:
+                    if key is None:
+                        compiled = self.pipeline.compile(self.graph_function)
+                    else:
+                        compiled = self.pipeline.compile(
+                            self.graph_function,
+                            input_specs=[
+                                TensorSpec(t.shape, t.dtype) for t in full_inputs
+                            ],
+                        )
+                except UnimplementedError:
+                    compiled = False  # e.g. py_func inside; fall back
+                self._compiled_cache[key] = compiled
+        return compiled or None
+
+    def release(self) -> None:
+        """Drop derived artifacts so an evicted trace frees its memory.
+
+        Clears the per-shape compiled executables, the forward/backward
+        gradient graphs, the rematerializing backward, and the execution
+        plan.  All are rebuilt lazily if the trace is ever called again,
+        so releasing is safe even while callers hold a reference.
+        """
+        with self._compile_lock:
+            self._compiled_cache.clear()
+        with self._fb_lock:
+            if not isinstance(self._forward_backward, Exception):
+                self._forward_backward = None
+        gf = self.graph_function
+        gf.release_plan()
+        if hasattr(gf, "_remat_backward"):
+            del gf._remat_backward
 
     def _call_compiled(self, compiled, full_inputs: list) -> list:
         import numpy as np
@@ -280,6 +391,16 @@ def _is_tensor_leaf(leaf) -> bool:
     return isinstance(leaf, (TensorBase, np.ndarray, Tensor))
 
 
+class _RelaxedTrace:
+    """A symbolic trace plus the (possibly widened) specs it was traced at."""
+
+    __slots__ = ("specs", "concrete")
+
+    def __init__(self, specs: list, concrete: ConcreteFunction) -> None:
+        self.specs = specs
+        self.concrete = concrete
+
+
 class Function:
     """The polymorphic callable returned by the ``function`` decorator."""
 
@@ -289,6 +410,7 @@ class Function:
         name: Optional[str] = None,
         input_signature: Optional[Sequence[TensorSpec]] = None,
         jit_compile: bool = False,
+        experimental_relax_shapes: Optional[bool] = None,
     ) -> None:
         self._python_function = python_function
         self._jit_compile = bool(jit_compile)
@@ -296,7 +418,30 @@ class Function:
         self._input_signature = (
             None if input_signature is None else list(input_signature)
         )
-        self._cache: dict = {}
+        self._experimental_relax_shapes = experimental_relax_shapes
+        self._pipeline = CompilationPipeline()
+        # Level 1: exact concrete signatures, LRU-ordered (most recently
+        # used last).  Bounded by ``context.trace_cache_size``.
+        self._cache: collections.OrderedDict = collections.OrderedDict()
+        # Level 2: one symbolic trace per dtype/rank pattern, installed
+        # by the relaxation policy.  Bounded by pattern diversity.
+        self._relaxed: dict = {}
+        # Shape-only misses per pattern, with the running most-general
+        # merge of the concrete specs seen so far.
+        self._pattern_seen: dict = {}
+        self._stats = {
+            "hits": 0,
+            "misses": 0,
+            "traces": 0,
+            "relaxations": 0,
+            "evictions": 0,
+        }
+        self._recent_traces: collections.deque = collections.deque(
+            maxlen=_RETRACE_WINDOW
+        )
+        self._call_index = 0
+        self._last_warn_index: Optional[int] = None
+        self._last_trace_key: Optional[tuple] = None
         self._lock = threading.RLock()
         self._trace_count = 0
         self._created_variables: list[Variable] = []
@@ -316,6 +461,23 @@ class Function:
     def trace_count(self) -> int:
         """How many times the Python function has been traced (for tests)."""
         return self._trace_count
+
+    def cache_stats(self) -> dict:
+        """Trace-cache counters: hits, misses, traces, relaxations, evictions.
+
+        ``hits`` counts calls served from either cache level without
+        tracing; ``misses`` counts calls that required one; ``traces``
+        counts actual traces of the Python function (a state-creating
+        first call contributes two, per the two-trace contract);
+        ``relaxations`` counts symbolic traces installed or widened by
+        the relaxation policy; ``evictions`` counts exact traces dropped
+        by the LRU bound.  ``size`` is the current number of live traces
+        across both levels.
+        """
+        with self._lock:
+            stats = dict(self._stats)
+            stats["size"] = len(self._cache) + len(self._relaxed)
+            return stats
 
     def __get__(self, instance, owner=None):
         """Support decorating methods: bind like a normal function would."""
@@ -366,6 +528,30 @@ class Function:
             key.append(_leaf_key(leaf))
         return tuple(key)
 
+    def _pattern_key(self, key: tuple) -> tuple:
+        """The cache key with tensor leaves abstracted to (dtype, rank).
+
+        Two exact keys with the same pattern differ only in tensor
+        *shapes* — exactly the retraces the relaxation policy is allowed
+        to collapse into one symbolic trace.
+        """
+        pattern = [key[0]]  # device
+        for leaf in key[1:]:
+            if isinstance(leaf, tuple) and leaf and leaf[0] == "tensor":
+                dtype, shape = leaf[1], leaf[2]
+                rank = shape.rank if hasattr(shape, "rank") else len(shape)
+                pattern.append(("tensor", dtype, rank))
+            else:
+                pattern.append(leaf)
+        return tuple(pattern)
+
+    def _relax_enabled(self) -> bool:
+        if self._input_signature is not None:
+            return False  # the signature already pins one relaxed trace
+        if self._experimental_relax_shapes is not None:
+            return self._experimental_relax_shapes
+        return context.relax_shapes
+
     def _maybe_trace(self, args, kwargs):
         args, kwargs = self._canonicalize(args, kwargs)
         if self._input_signature is not None:
@@ -373,11 +559,112 @@ class Function:
         flat_leaves, tensor_leaves = self._split_leaves(args, kwargs)
         key = self._cache_key(flat_leaves)
         with self._lock:
+            self._call_index += 1
             concrete = self._cache.get(key)
-            if concrete is None:
-                concrete = self._trace(args, kwargs, tensor_leaves)
-                self._cache[key] = concrete
+            if concrete is not None:
+                self._cache.move_to_end(key)
+                self._stats["hits"] += 1
+                self._recent_traces.append(False)
+                return concrete, tensor_leaves
+            if self._relax_enabled():
+                concrete = self._lookup_relaxed(key, args, kwargs, tensor_leaves)
+                if concrete is not None:
+                    return concrete, tensor_leaves
+            self._stats["misses"] += 1
+            self._recent_traces.append(True)
+            self._maybe_warn_retrace(key)
+            concrete = self._trace(args, kwargs, tensor_leaves)
+            self._insert_exact(key, concrete)
+            self._last_trace_key = key
         return concrete, tensor_leaves
+
+    def _lookup_relaxed(
+        self, key, args, kwargs, tensor_leaves
+    ) -> Optional[ConcreteFunction]:
+        """Second cache level: serve, widen, or install a symbolic trace.
+
+        Called under the lock on an exact-cache miss.  Returns None when
+        the relaxation policy decides an exact trace should happen
+        instead (pattern not yet seen often enough).
+        """
+        pk = self._pattern_key(key)
+        entry = self._relaxed.get(pk)
+        if entry is not None:
+            if all(
+                t.shape.is_subtype_of(spec.shape)
+                for t, spec in zip(tensor_leaves, entry.specs)
+            ):
+                self._stats["hits"] += 1
+                self._recent_traces.append(False)
+                return entry.concrete
+            # Incompatible with the current symbolic specs (e.g. a dim
+            # that had been stable so far started varying): widen and
+            # retrace once; the evicted trace releases its artifacts.
+            widened = [
+                spec.most_general(TensorSpec.from_tensor(t))
+                for spec, t in zip(entry.specs, tensor_leaves)
+            ]
+            self._stats["misses"] += 1
+            self._recent_traces.append(True)
+            concrete = self._trace(args, kwargs, tensor_leaves, override_specs=widened)
+            entry.concrete.release()
+            self._relaxed[pk] = _RelaxedTrace(widened, concrete)
+            self._stats["relaxations"] += 1
+            return concrete
+        seen = self._pattern_seen.get(pk)
+        current = [TensorSpec.from_tensor(t) for t in tensor_leaves]
+        if seen is None:
+            # First sighting of this pattern: remember it; the caller
+            # performs a normal exact trace.
+            self._pattern_seen[pk] = [0, current]
+            return None
+        seen[0] += 1
+        seen[1] = [old.most_general(new) for old, new in zip(seen[1], current)]
+        if seen[0] < context.relax_retraces:
+            return None
+        # K shape-only retraces of this pattern: generalize the varying
+        # dimensions to None and trace once, symbolically.
+        relaxed_specs = seen[1]
+        self._stats["misses"] += 1
+        self._recent_traces.append(True)
+        concrete = self._trace(
+            args, kwargs, tensor_leaves, override_specs=relaxed_specs
+        )
+        self._relaxed[pk] = _RelaxedTrace(relaxed_specs, concrete)
+        self._stats["relaxations"] += 1
+        del self._pattern_seen[pk]
+        return concrete
+
+    def _insert_exact(self, key, concrete: ConcreteFunction) -> None:
+        """Add to the exact level, evicting LRU entries past the bound."""
+        self._cache[key] = concrete
+        limit = context.trace_cache_size
+        while len(self._cache) > limit:
+            _, evicted = self._cache.popitem(last=False)
+            evicted.release()
+            self._stats["evictions"] += 1
+
+    def _maybe_warn_retrace(self, key: tuple) -> None:
+        """Rate-limited churn warning, naming the differing key leaf."""
+        if self._last_trace_key is None:
+            return
+        if sum(self._recent_traces) < _RETRACE_THRESHOLD:
+            return
+        if (
+            self._last_warn_index is not None
+            and self._call_index - self._last_warn_index < _RETRACE_WARN_INTERVAL
+        ):
+            return
+        self._last_warn_index = self._call_index
+        warnings.warn(
+            f"Function {self._name!r} retraced {sum(self._recent_traces)} times "
+            f"in its last {len(self._recent_traces)} calls; retracing is "
+            f"expensive. Last retrace: {_diff_cache_keys(self._last_trace_key, key)}. "
+            "Consider an input_signature, or experimental_relax_shapes=True "
+            "(env REPRO_RELAX_SHAPES=1) to generalize varying dimensions.",
+            RetraceWarning,
+            stacklevel=4,
+        )
 
     def _trace_with_signature(self, args, kwargs):
         if kwargs:
@@ -403,12 +690,17 @@ class Function:
             tensors.append(t)
         key = ("signature", context.current_device_name())
         with self._lock:
+            self._call_index += 1
             concrete = self._cache.get(key)
             if concrete is None:
+                self._stats["misses"] += 1
                 concrete = self._trace(
                     tuple(tensors), {}, tensors, override_specs=list(specs)
                 )
                 self._cache[key] = concrete
+            else:
+                self._cache.move_to_end(key)
+                self._stats["hits"] += 1
         return concrete, tensors
 
     # -- tracing -----------------------------------------------------------
@@ -424,7 +716,7 @@ class Function:
         with variable_creation_observer(created.append):
             concrete = self._trace_once(args, kwargs, specs)
         if created:
-            if self._trace_count > 1 or self._cache:
+            if self._trace_count > 1 or self._cache or self._relaxed:
                 raise FailedPreconditionError(
                     f"Function {self._name!r} created new variables on a "
                     "non-initial trace. State must only be created the first "
@@ -446,9 +738,10 @@ class Function:
 
     def _trace_once(self, args, kwargs, specs) -> ConcreteFunction:
         self._trace_count += 1
+        self._stats["traces"] += 1
         marked_args, marked_kwargs = self._mark_tensors(args, kwargs)
         name = f"{self._name}_{context.unique_id()}"
-        graph, flat_outputs, structure = tracing.trace_into_graph(
+        graph, flat_outputs, structure = self._pipeline.trace(
             self._python_function,
             specs,
             name=name,
@@ -461,8 +754,9 @@ class Function:
             output_structure=structure,
             num_explicit_inputs=len(specs),
             jit_compile=self._jit_compile,
+            pipeline=self._pipeline,
         )
-        concrete.graph_function.optimize()
+        self._pipeline.finalize(concrete.graph_function)
         return concrete
 
     @staticmethod
@@ -475,7 +769,10 @@ class Function:
         return tuple(marked_args), marked_kwargs
 
     def __repr__(self) -> str:
-        return f"<repro.function {self._name!r} with {len(self._cache)} traces>"
+        return (
+            f"<repro.function {self._name!r} with "
+            f"{len(self._cache) + len(self._relaxed)} traces>"
+        )
 
 
 def function(
@@ -484,6 +781,7 @@ def function(
     input_signature: Optional[Sequence[TensorSpec]] = None,
     name: Optional[str] = None,
     jit_compile: bool = False,
+    experimental_relax_shapes: Optional[bool] = None,
 ):
     """Decorator staging a Python function as graph functions (§4.1, §4.6).
 
@@ -505,15 +803,31 @@ def function(
     and, on the simulated TPU, the whole step becomes one program.
     Functions containing ``py_func`` silently fall back to the graph
     executor.
+
+    ``experimental_relax_shapes=True`` enables the trace cache's
+    relaxation policy for this function: after
+    ``context.relax_retraces`` shape-only retraces of the same
+    dtype/rank pattern, the varying dimensions are generalized to
+    ``None`` and a single symbolic trace serves all compatible shapes.
+    ``False`` disables it; the default ``None`` defers to the global
+    ``context.relax_shapes`` knob (env ``REPRO_RELAX_SHAPES``).
     """
     if func is not None:
         return Function(
-            func, name=name, input_signature=input_signature, jit_compile=jit_compile
+            func,
+            name=name,
+            input_signature=input_signature,
+            jit_compile=jit_compile,
+            experimental_relax_shapes=experimental_relax_shapes,
         )
 
     def decorator(f: Callable) -> Function:
         return Function(
-            f, name=name, input_signature=input_signature, jit_compile=jit_compile
+            f,
+            name=name,
+            input_signature=input_signature,
+            jit_compile=jit_compile,
+            experimental_relax_shapes=experimental_relax_shapes,
         )
 
     return decorator

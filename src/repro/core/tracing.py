@@ -28,7 +28,13 @@ from repro.tensor import Tensor, TensorBase, TensorSpec, convert_to_tensor
 from repro.graph.function import GraphFunction, placeholder
 from repro.graph.graph import Graph, SymbolicTensor
 
-__all__ = ["FuncGraph", "init_scope", "trace_into_graph"]
+__all__ = [
+    "FuncGraph",
+    "ReplayGraph",
+    "init_scope",
+    "replay_into",
+    "trace_into_graph",
+]
 
 
 class FuncGraph(Graph):
@@ -94,6 +100,103 @@ class FuncGraph(Graph):
             f"trace {self.name!r}, but its graph is not an enclosing trace. "
             "Symbolic tensors cannot outlive their graph-building context."
         )
+
+
+class ReplayGraph(FuncGraph):
+    """A scratch graph for symbolic re-execution of an existing graph.
+
+    Concrete tensors reaching a replay (scalar factors and shape vectors
+    materialized by gradient rules, constants re-staged by
+    specialization) are interned as ``Const`` nodes rather than captured
+    as hidden placeholders, so functions extracted from the replay are
+    self-contained.  Used by the forward/backward builder
+    (:mod:`repro.core.backprop`) and by the compilation pipeline's
+    shape-specialization stage (:mod:`repro.core.pipeline`).
+    """
+
+    def _capture_concrete(self, t: Tensor) -> SymbolicTensor:
+        from repro.graph.graph import Graph
+
+        return Graph._capture_concrete(self, t)
+
+
+def replay_into(
+    fn,
+    graph: FuncGraph,
+    input_specs: Optional[Sequence[TensorSpec]] = None,
+    on_input: Optional[Callable] = None,
+):
+    """Symbolically re-execute a graph function's nodes into ``graph``.
+
+    Every node is re-staged through :func:`~repro.runtime.executor.execute`,
+    which re-runs shape inference and constant propagation — so a replay
+    under *refined* input specs (``input_specs``) propagates the sharper
+    shapes through the whole body.  That is the heart of per-shape
+    specialization: one symbolic trace, many cheap shape-refined clones,
+    and no Python re-execution.
+
+    Args:
+        fn: the :class:`~repro.graph.function.GraphFunction` to replay.
+        graph: the (already-created) destination graph.  Must be a
+            :class:`FuncGraph`; callers wanting self-contained results
+            use a :class:`ReplayGraph`.
+        input_specs: optional replacement specs for ``fn``'s inputs (one
+            per input, dtypes must match).  Defaults to the originals.
+        on_input: optional callback invoked with each new input
+            placeholder as it is created (e.g. ``tape.watch``).
+
+    Returns:
+        ``(new_inputs, mapping, new_outputs)`` where ``mapping`` maps
+        ``id(old tensor) -> new tensor``.
+    """
+    from repro.runtime.executor import execute
+
+    specs = list(input_specs) if input_specs is not None else list(fn.input_specs)
+    if len(specs) != len(fn.inputs):
+        raise InvalidArgumentError(
+            f"Replay of {fn.name!r} got {len(specs)} input specs for "
+            f"{len(fn.inputs)} inputs"
+        )
+    for old, spec in zip(fn.inputs, specs):
+        if spec.dtype != old.dtype:
+            raise InvalidArgumentError(
+                f"Replay of {fn.name!r}: input spec dtype {spec.dtype} does "
+                f"not match traced dtype {old.dtype}"
+            )
+    new_inputs = [
+        graph.add_input(spec, name=f"x_{i}") for i, spec in enumerate(specs)
+    ]
+    mapping: dict[int, object] = {}
+    for old, new in zip(fn.inputs, new_inputs):
+        mapping[id(old)] = new
+        if on_input is not None:
+            on_input(new)
+    with graph.as_default():
+        for node in fn.graph.nodes:
+            if node.op_name == "Placeholder":
+                out = node.outputs[0]
+                if id(out) not in mapping:
+                    raise FailedPreconditionError(
+                        f"Placeholder {node.name!r} is not among the inputs of "
+                        f"function {fn.name!r}"
+                    )
+                continue
+            inputs = [mapping[id(t)] for t in node.inputs]
+            graph.push_device(node.device)
+            try:
+                outputs = execute(node.op_name, inputs, node.attrs, name=node.name)
+            finally:
+                graph.pop_device()
+            if not isinstance(outputs, tuple):
+                outputs = (outputs,) if outputs is not None else ()
+            if outputs == () and node.outputs:
+                raise FailedPreconditionError(
+                    f"Replay of {node.op_name!r} lost its outputs"
+                )
+            for old, new in zip(node.outputs, outputs):
+                mapping[id(old)] = new
+    new_outputs = [mapping[id(t)] for t in fn.outputs]
+    return new_inputs, mapping, new_outputs
 
 
 class init_scope:

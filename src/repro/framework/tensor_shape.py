@@ -162,6 +162,24 @@ class TensorShape:
             for a, b in zip(self._dims, other._dims)
         )
 
+    def relaxed(self) -> "TensorShape":
+        """This shape with every dimension forgotten (rank preserved).
+
+        The fully-symbolic signature the trace cache falls back to when
+        repeated widening fails to converge: any same-rank tensor is a
+        subtype of the relaxed shape.
+        """
+        if self._dims is None:
+            return self
+        return TensorShape([None] * len(self._dims))
+
+    @property
+    def num_unknown(self) -> Optional[int]:
+        """How many dimensions are unknown (None for unknown rank)."""
+        if self._dims is None:
+            return None
+        return sum(1 for d in self._dims if d is None)
+
     def concatenate(self, other) -> "TensorShape":
         other = as_shape(other)
         if self._dims is None or other._dims is None:

@@ -155,6 +155,17 @@ class GraphRunner:
 
         self.placeholders = [n for n in self.schedule if n.op_name == "Placeholder"]
 
+        # Symbolic placeholders (unknown dims — a relaxed or
+        # input_signature trace): remember their specs so feeds are
+        # validated per run.  Exact traces pay nothing (empty dict);
+        # feeding a symbolic plan an incompatible shape fails with a
+        # clear error here rather than deep inside a kernel.
+        self.feed_specs: dict[int, tuple[Node, object]] = {}
+        for node in self.placeholders:
+            spec = node.outputs[0].spec
+            if not spec.shape.is_fully_defined:
+                self.feed_specs[id(node)] = (node, spec)
+
         # Precomputed execution plan: per node, the kernel resolved once
         # through the dispatch core's (op, device_kind, input_dtypes)
         # cache (when one exists and the node is not pinned elsewhere),
@@ -216,9 +227,26 @@ class GraphRunner:
         for key, value in items:
             node = key.node if isinstance(key, SymbolicTensor) else key
             feed_values[id(node)] = value
+        if self.feed_specs:
+            self._validate_feeds(feed_values)
         if parallel:
             return self._run_parallel(feed_values)
         return self._run_serial(feed_values)
+
+    def _validate_feeds(self, feed_values: dict[int, Tensor]) -> None:
+        """Check fed values against symbolic placeholder specs."""
+        for node_id, (node, spec) in self.feed_specs.items():
+            value = feed_values.get(node_id)
+            if value is None:
+                continue  # "not fed" is diagnosed by the run loop
+            if value.dtype != spec.dtype or not value.shape.is_subtype_of(
+                spec.shape
+            ):
+                raise InvalidArgumentError(
+                    f"Placeholder {node.name!r} expects {spec.dtype.name}"
+                    f"{spec.shape}, got {value.dtype.name}{value.shape} "
+                    "(incompatible with this trace's symbolic signature)"
+                )
 
     def _run_serial(self, feed_values: dict[int, Tensor]) -> list[Tensor]:
         store: dict[int, Tensor] = {}

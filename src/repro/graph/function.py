@@ -79,23 +79,39 @@ class GraphFunction:
     def num_nodes(self) -> int:
         return len(self.graph.nodes)
 
+    def plan(self):
+        """The cached :class:`~repro.graph.executor.GraphRunner` plan.
+
+        Plans are *shape-polymorphic*: kernels derive output shapes from
+        the actual buffers, so a single plan serves every concrete shape
+        a symbolic (relaxed) trace admits.  The pipeline's plan stage
+        (:meth:`repro.core.pipeline.CompilationPipeline.plan`) routes
+        here; rewriting the graph invalidates the plan via
+        :meth:`release_plan`.
+        """
+        from repro.graph.executor import GraphRunner
+
+        runner = self._runner
+        if runner is None:
+            runner = self._runner = GraphRunner(self.graph, self.outputs)
+        return runner
+
+    def release_plan(self) -> None:
+        """Drop the cached execution plan (rebuilt on next use)."""
+        self._runner = None
+
     def run(self, args: Sequence[Tensor], parallel: bool = False) -> list[Tensor]:
         """Execute the graph on concrete inputs; returns concrete outputs.
 
         The execution plan (schedule, refcounts) is built once and
         cached; repeated calls dispatch kernels with no graph analysis.
         """
-        from repro.graph.executor import GraphRunner
-
         if len(args) != len(self.inputs):
             raise InvalidArgumentError(
                 f"Graph function {self.name!r} takes {len(self.inputs)} inputs, "
                 f"got {len(args)}"
             )
-        runner = self._runner
-        if runner is None:
-            runner = self._runner = GraphRunner(self.graph, self.outputs)
-        return runner.run(list(zip(self.inputs, args)), parallel=parallel)
+        return self.plan().run(list(zip(self.inputs, args)), parallel=parallel)
 
     def optimize(self, passes: Optional[Sequence[str]] = None) -> dict:
         """Run grappler-style optimization passes in place.

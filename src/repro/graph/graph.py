@@ -70,6 +70,25 @@ class SymbolicTensor(TensorBase):
     def constant_value(self) -> Optional[np.ndarray]:
         return self._constant_value
 
+    def refine_spec(self, spec: TensorSpec) -> bool:
+        """Merge ``spec`` into the recorded spec; most specific shape wins.
+
+        The pipeline's shape-refinement stage re-runs inference after
+        graph rewrites and sharpens symbolic dims through here.  Returns
+        True when the spec became strictly more specific; a dtype
+        mismatch or rank conflict is treated conservatively (unchanged).
+        """
+        if spec.dtype != self.spec.dtype:
+            return False
+        try:
+            merged = self.spec.shape.merge_with(spec.shape)
+        except InvalidArgumentError:
+            return False
+        if merged == self.spec.shape:
+            return False
+        self.spec = TensorSpec(merged, self.spec.dtype)
+        return True
+
     @property
     def device(self) -> Optional[str]:
         return self.node.device

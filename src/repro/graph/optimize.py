@@ -38,11 +38,26 @@ _NEVER_FOLD = frozenset({"Const", "Placeholder"})
 
 
 def _attr_key(attrs: dict):
+    from repro.framework.dtypes import DType
+    from repro.framework.tensor_shape import TensorShape
+    from repro.tensor import TensorSpec
+
     items = []
     for k in sorted(attrs):
         v = attrs[k]
         if isinstance(v, np.ndarray):
             items.append((k, ("ndarray", v.shape, str(v.dtype), v.tobytes())))
+        elif isinstance(v, TensorShape):
+            # Explicit encoding so a symbolic shape ([2, None]) can
+            # never collide with a repr-equal Python value; two nodes
+            # merge only when their (possibly unknown) dims agree
+            # exactly — with the same inputs that is sound, since equal
+            # symbolic attrs denote the same runtime shapes.
+            items.append((k, ("shape", v.dims)))
+        elif isinstance(v, TensorSpec):
+            items.append((k, ("spec", v.shape.dims, v.dtype.name)))
+        elif isinstance(v, DType):
+            items.append((k, ("dtype", v.name)))
         elif callable(v) or hasattr(v, "graph"):
             items.append((k, ("object", id(v))))
         else:

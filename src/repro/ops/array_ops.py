@@ -482,8 +482,17 @@ register_op("Split", infer_fn=_split_infer)
 def _split_kernel(inputs, attrs, device):
     (x,) = inputs
     sizes = attrs["sizes"]
+    axis = attrs["axis"]
+    if any(s is None for s in sizes):
+        # Equal split of a symbolic dim: sizes resolve from the buffer.
+        dim = x.shape[axis]
+        if dim % len(sizes) != 0:
+            raise InvalidArgumentError(
+                f"Cannot split dimension {dim} into {len(sizes)} equal parts"
+            )
+        return [contiguous(p) for p in np.split(x, len(sizes), axis=axis)]
     indices = np.cumsum(sizes[:-1])
-    return [contiguous(p) for p in np.split(x, indices, axis=attrs["axis"])]
+    return [contiguous(p) for p in np.split(x, indices, axis=axis)]
 
 
 @register_gradient("Split")
@@ -504,11 +513,16 @@ def split(x, num_or_size_splits: Union[int, Sequence[int]], axis: int = 0):
     x = _convert(x)
     dim = x.shape[axis]
     if isinstance(num_or_size_splits, int):
-        if dim is None or dim % num_or_size_splits != 0:
+        if dim is None:
+            # Equal split of an unknown dim stays symbolic: each piece's
+            # size is derived from the actual buffer at run time.
+            sizes = (None,) * num_or_size_splits
+        elif dim % num_or_size_splits != 0:
             raise InvalidArgumentError(
                 f"Cannot split dimension {dim} into {num_or_size_splits} equal parts"
             )
-        sizes = tuple([dim // num_or_size_splits] * num_or_size_splits)
+        else:
+            sizes = tuple([dim // num_or_size_splits] * num_or_size_splits)
     else:
         sizes = tuple(int(s) for s in num_or_size_splits)
     out = execute("Split", [x], {"axis": int(axis), "sizes": sizes})

@@ -15,7 +15,7 @@ from typing import Optional, Sequence
 import numpy as np
 
 from repro.framework import dtypes
-from repro.framework.errors import InvalidArgumentError
+from repro.framework.errors import InvalidArgumentError, UnimplementedError
 from repro.framework.tensor_shape import TensorShape
 from repro.ops.common import constant_or_none, simple_kernel, unary_infer
 from repro.ops.registry import register_gradient, register_kernel, register_op
@@ -430,13 +430,33 @@ register_op(
 )
 
 
+def _resolve_input_shape(x_shape, n, c) -> tuple[int, int, int, int]:
+    """Fill a symbolic (relaxed-trace) NHWC shape from runtime values.
+
+    The batch and channel dims follow the gradient buffer; the spatial
+    dims parameterize the window arithmetic and must be static.
+    """
+    resolved = (
+        n if x_shape[0] is None else x_shape[0],
+        x_shape[1],
+        x_shape[2],
+        c if x_shape[3] is None else x_shape[3],
+    )
+    if resolved[1] is None or resolved[2] is None:
+        raise UnimplementedError(
+            "conv/pool gradients require static spatial dimensions; got "
+            f"input shape {tuple(x_shape)}"
+        )
+    return resolved
+
+
 @register_kernel("Conv2DBackpropInput")
 def _conv2d_backprop_input_kernel(inputs, attrs, device):
     grad, filters = inputs
     kh, kw, cin, cout = filters.shape
     sh, sw = attrs["strides"]
-    x_shape = attrs["input_shape"]
     n, oh, ow = grad.shape[:3]
+    x_shape = _resolve_input_shape(attrs["input_shape"], n, cin)
     cols = grad.reshape(n * oh * ow, cout) @ filters.reshape(kh * kw * cin, cout).T
     cols = cols.reshape(n, oh, ow, kh, kw, cin)
     if attrs["padding"] == "SAME":
@@ -625,7 +645,9 @@ def _avg_pool_grad_kernel(inputs, attrs, device):
     (grad,) = inputs
     kh, kw = attrs["ksize"]
     sh, sw = attrs["strides"]
-    x_shape = attrs["input_shape"]
+    x_shape = _resolve_input_shape(
+        attrs["input_shape"], grad.shape[0], grad.shape[3]
+    )
     if attrs["padding"] == "SAME":
         pt, pb = _same_pads(x_shape[1], kh, sh)
         pl, pr = _same_pads(x_shape[2], kw, sw)

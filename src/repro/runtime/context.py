@@ -76,6 +76,9 @@ class Context:
         self._inter_op_threads = self._threads_from_env()
         self._rpc_deadline_ms = self._rpc_deadline_from_env()
         self._async_eager = self._async_from_env()
+        self._relax_shapes = self._relax_shapes_from_env()
+        self._relax_retraces = self._relax_retraces_from_env()
+        self._trace_cache_size = self._trace_cache_size_from_env()
         self._initialize_local_devices(num_gpus=num_gpus, num_tpus=num_tpus)
 
     @staticmethod
@@ -108,6 +111,41 @@ class Context:
     def _async_from_env() -> bool:
         raw = os.environ.get("REPRO_ASYNC_EAGER", "0").strip().lower()
         return raw in ("1", "true", "yes", "on")
+
+    @staticmethod
+    def _relax_shapes_from_env() -> bool:
+        raw = os.environ.get("REPRO_RELAX_SHAPES", "0").strip().lower()
+        return raw in ("1", "true", "yes", "on")
+
+    @staticmethod
+    def _relax_retraces_from_env() -> int:
+        raw = os.environ.get("REPRO_RELAX_RETRACES", "1")
+        try:
+            value = int(raw)
+        except ValueError:
+            raise InvalidArgumentError(
+                f"REPRO_RELAX_RETRACES must be an integer, got {raw!r}"
+            ) from None
+        if value < 1:
+            raise InvalidArgumentError(
+                f"REPRO_RELAX_RETRACES must be >= 1, got {value}"
+            )
+        return value
+
+    @staticmethod
+    def _trace_cache_size_from_env() -> int:
+        raw = os.environ.get("REPRO_TRACE_CACHE_SIZE", "256")
+        try:
+            value = int(raw)
+        except ValueError:
+            raise InvalidArgumentError(
+                f"REPRO_TRACE_CACHE_SIZE must be an integer, got {raw!r}"
+            ) from None
+        if value < 1:
+            raise InvalidArgumentError(
+                f"REPRO_TRACE_CACHE_SIZE must be >= 1, got {value}"
+            )
+        return value
 
     # -- placement / execution knobs --------------------------------------
     @property
@@ -155,6 +193,63 @@ class Context:
         if stream_mod is None:
             return  # nothing was ever executed asynchronously
         stream_mod.sync_all_streams()
+
+    @property
+    def relax_shapes(self) -> bool:
+        """Process-wide default for trace-cache shape relaxation (§4.6).
+
+        When on, a ``Function`` that keeps retracing on shape-only
+        signature changes generalizes the varying dimensions to ``None``
+        and traces one symbolic graph instead (see
+        :mod:`repro.core.function`).  Initialised from
+        ``REPRO_RELAX_SHAPES`` (default off); per-function
+        ``experimental_relax_shapes`` overrides it either way.
+        """
+        return self._relax_shapes
+
+    @relax_shapes.setter
+    def relax_shapes(self, value: bool) -> None:
+        self._relax_shapes = bool(value)
+
+    @property
+    def relax_retraces(self) -> int:
+        """How many shape-only retraces trigger relaxation (default 1).
+
+        With the default, the *second* distinct shape of the same
+        rank/dtype pattern already traces symbolically.  Initialised
+        from ``REPRO_RELAX_RETRACES``.
+        """
+        return self._relax_retraces
+
+    @relax_retraces.setter
+    def relax_retraces(self, value: int) -> None:
+        value = int(value)
+        if value < 1:
+            raise InvalidArgumentError(
+                f"relax_retraces must be >= 1, got {value}"
+            )
+        self._relax_retraces = value
+
+    @property
+    def trace_cache_size(self) -> int:
+        """Per-``Function`` bound on cached exact-signature traces.
+
+        The trace cache is LRU-bounded so shape-diverse serving traffic
+        cannot grow it (and the compiled artifacts hanging off each
+        trace) without limit.  Initialised from
+        ``REPRO_TRACE_CACHE_SIZE`` (default 256).  Applies to caches
+        created afterwards and to existing caches on their next insert.
+        """
+        return self._trace_cache_size
+
+    @trace_cache_size.setter
+    def trace_cache_size(self, value: int) -> None:
+        value = int(value)
+        if value < 1:
+            raise InvalidArgumentError(
+                f"trace_cache_size must be >= 1, got {value}"
+            )
+        self._trace_cache_size = value
 
     @property
     def soft_device_placement(self) -> bool:

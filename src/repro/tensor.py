@@ -446,6 +446,15 @@ class TensorSpec:
     def from_tensor(t: TensorBase, name: Optional[str] = None) -> "TensorSpec":
         return TensorSpec(t.shape, t.dtype, name=name)
 
+    @property
+    def is_fully_defined(self) -> bool:
+        """True when the spec pins every dimension (an exact signature)."""
+        return self.shape.is_fully_defined
+
+    def relaxed(self) -> "TensorSpec":
+        """This spec with all dimensions forgotten (rank and dtype kept)."""
+        return TensorSpec(self.shape.relaxed(), self.dtype, self.name)
+
     def is_compatible_with(self, t) -> bool:
         if not isinstance(t, (TensorBase, TensorSpec)):
             return False

@@ -24,6 +24,7 @@ from typing import Optional, Sequence
 import numpy as np
 
 from repro.framework import dtypes
+from repro.framework.errors import UnimplementedError
 from repro.runtime.device import Device
 from repro.tensor import Tensor
 from repro.graph.function import GraphFunction
@@ -113,7 +114,24 @@ def compile_function(
     fuse: bool = True,
     name: Optional[str] = None,
 ) -> CompiledExecutable:
-    """Compile a graph function into an accelerator executable."""
+    """Compile a graph function into an accelerator executable.
+
+    Compilation is *shape-monomorphic*: the roofline cost model and the
+    fusion heuristics consume per-instruction flop/byte counts, which
+    require every dimension to be known.  A symbolic (relaxed) trace
+    must be specialized to concrete input shapes first —
+    :meth:`repro.core.pipeline.CompilationPipeline.compile` does this
+    and callers keep a per-shape executable cache under the one
+    symbolic trace.
+    """
+    for spec in fn.input_specs:
+        if not spec.is_fully_defined:
+            raise UnimplementedError(
+                f"Cannot compile {fn.name!r}: input {spec} has unknown "
+                "dimensions. XLA requires static shapes; specialize the "
+                "function to concrete shapes first (see "
+                "CompilationPipeline.compile(fn, input_specs=...))."
+            )
     start = time.perf_counter()
     computation = hlo.lower(fn, name=name)
     if fuse:

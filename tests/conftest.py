@@ -52,6 +52,9 @@ def _reset_context_knobs():
     context.soft_device_placement = True
     context.inter_op_parallelism_threads = Context._threads_from_env()
     context.rpc_deadline_ms = Context._rpc_deadline_from_env()
+    context._relax_shapes = Context._relax_shapes_from_env()
+    context._relax_retraces = Context._relax_retraces_from_env()
+    context._trace_cache_size = Context._trace_cache_size_from_env()
     # Interceptors registered during the test and never unregistered.
     for it in tuple(dispatch.core._interceptors):
         if it not in interceptors_before:

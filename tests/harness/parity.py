@@ -18,14 +18,22 @@ computation*, not large ones.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Sequence
+from typing import Callable, Optional, Sequence
 
 import numpy as np
 
 import repro
 from repro.ops import nn_ops
 
-__all__ = ["CORPUS", "MODES", "Program", "assert_parity", "run_program"]
+__all__ = [
+    "CORPUS",
+    "MODES",
+    "Program",
+    "assert_parity",
+    "assert_relaxed_parity",
+    "run_program",
+    "run_program_relaxed",
+]
 
 MODES = ("sync", "async", "staged")
 
@@ -49,12 +57,21 @@ class Program:
         fn: the program body, ``fn(*tensors) -> tensor``.  Must be
             traceable by ``repro.function`` (no Python side effects).
         dtypes: dtypes the program is exercised under.
+        alt_inputs: optional second input draw with *different tensor
+            shapes* (typically a different batch size).  Programs that
+            provide it additionally run under the trace cache's shape
+            relaxation policy: a warm-up call on the alternate shapes
+            followed by the main call must produce one relaxed
+            (symbolic) trace whose outputs and gradients still match
+            sync eager.  Programs whose bodies pin a shape (fixed
+            labels, literal reshape sizes) leave it None.
     """
 
     name: str
     make_inputs: Callable[[np.random.Generator], Sequence[np.ndarray]]
     fn: Callable
     dtypes: tuple = ("float32", "float64")
+    alt_inputs: Optional[Callable[[np.random.Generator], Sequence[np.ndarray]]] = None
 
 
 def run_program(program: Program, mode: str, dtype: str):
@@ -109,6 +126,70 @@ def assert_parity(program: Program, dtype: str) -> None:
                     err_msg=f"{program.name}: {mode} gradient {i} diverged "
                     f"from sync eager",
                 )
+
+
+def run_program_relaxed(program: Program, dtype: str):
+    """Run ``program`` through one *relaxed* (symbolic) trace.
+
+    Warms a shape-relaxing ``repro.function`` on ``alt_inputs`` (the
+    exact trace), then runs ``make_inputs`` — a different shape of the
+    same rank/dtype pattern, which triggers the relaxation policy and
+    executes through the symbolic trace.  Returns the main call's
+    ``(output, gradients)`` plus the Function so callers can assert on
+    trace counts.
+    """
+    if program.alt_inputs is None:
+        raise ValueError(f"{program.name} has no alt_inputs; cannot relax")
+    dt = getattr(repro, dtype)
+    fn = repro.function(program.fn, experimental_relax_shapes=True)
+    warm = [
+        repro.constant(a, dtype=dt)
+        for a in program.alt_inputs(np.random.default_rng(1))
+    ]
+    fn(*warm)  # exact trace at the alternate shapes
+    arrays = program.make_inputs(np.random.default_rng(0))
+    tensors = [repro.constant(a, dtype=dt) for a in arrays]
+    with repro.GradientTape() as tape:
+        for t in tensors:
+            tape.watch(t)
+        out = fn(*tensors)
+        loss = repro.reduce_sum(out)
+    grads = tape.gradient(loss, tensors)
+    out_np = np.asarray(out.numpy())
+    grads_np = [None if g is None else np.asarray(g.numpy()) for g in grads]
+    return out_np, grads_np, fn
+
+
+def assert_relaxed_parity(program: Program, dtype: str) -> None:
+    """Assert the relaxed trace matches sync eager, from one retrace."""
+    tol = _TOLERANCES[dtype]
+    ref_out, ref_grads = run_program(program, "sync", dtype)
+    out, grads, fn = run_program_relaxed(program, dtype)
+    stats = fn.cache_stats()
+    assert fn.trace_count == 2, (
+        f"{program.name}: expected exact + relaxed trace, got "
+        f"{fn.trace_count} traces"
+    )
+    assert stats["relaxations"] == 1, f"{program.name}: {stats}"
+    np.testing.assert_allclose(
+        out,
+        ref_out,
+        **tol,
+        err_msg=f"{program.name}: relaxed-trace output diverged from sync eager",
+    )
+    assert len(grads) == len(ref_grads)
+    for i, (g, ref) in enumerate(zip(grads, ref_grads)):
+        assert (g is None) == (ref is None), (
+            f"{program.name}: relaxed-trace gradient {i} connectivity differs"
+        )
+        if ref is not None:
+            np.testing.assert_allclose(
+                g,
+                ref,
+                **tol,
+                err_msg=f"{program.name}: relaxed-trace gradient {i} diverged "
+                f"from sync eager",
+            )
 
 
 # -- the corpus --------------------------------------------------------------
@@ -282,12 +363,12 @@ def _conv_relu_pool(img, filt):
 
 
 CORPUS = [
-    _p("scale_shift", _vec(8), lambda x: x * 2.0 + 1.0),
-    _p("chain_long", _vec(8), _chain_long),
-    _p("polynomial", _vec(8), _polynomial),
-    _p("smooth_abs", _vec(8), _smooth_abs),
-    _p("sigmoid_tanh_mix", _vec(8), _sigmoid_tanh_mix),
-    _p("log1p_exp", _vec(8), _log1p_exp),
+    _p("scale_shift", _vec(8), lambda x: x * 2.0 + 1.0, alt_inputs=_vec(5)),
+    _p("chain_long", _vec(8), _chain_long, alt_inputs=_vec(5)),
+    _p("polynomial", _vec(8), _polynomial, alt_inputs=_vec(5)),
+    _p("smooth_abs", _vec(8), _smooth_abs, alt_inputs=_vec(5)),
+    _p("sigmoid_tanh_mix", _vec(8), _sigmoid_tanh_mix, alt_inputs=_vec(5)),
+    _p("log1p_exp", _vec(8), _log1p_exp, alt_inputs=_vec(5)),
     _p(
         "matmul_bias_relu",
         lambda rng: [
@@ -296,6 +377,11 @@ CORPUS = [
             rng.normal(size=(5,)),
         ],
         _matmul_bias_relu,
+        alt_inputs=lambda rng: [
+            rng.normal(size=(6, 4)),
+            rng.normal(size=(4, 5)),
+            rng.normal(size=(5,)),
+        ],
     ),
     _p(
         "matmul_chain",
@@ -305,6 +391,11 @@ CORPUS = [
             rng.normal(size=(4, 2)),
         ],
         _matmul_chain,
+        alt_inputs=lambda rng: [
+            rng.normal(size=(5, 4)),
+            rng.normal(size=(4, 4)),
+            rng.normal(size=(4, 2)),
+        ],
     ),
     _p(
         "mlp_two_layer",
@@ -316,11 +407,19 @@ CORPUS = [
             rng.normal(size=(2,)),
         ],
         _mlp_two_layer,
+        alt_inputs=lambda rng: [
+            rng.normal(size=(4, 3)),
+            rng.normal(size=(3, 5)),
+            rng.normal(size=(5,)),
+            rng.normal(size=(5, 2)),
+            rng.normal(size=(2,)),
+        ],
     ),
     _p(
         "transpose_matmul",
         lambda rng: [rng.normal(size=(3, 4)), rng.normal(size=(5, 4))],
         _transpose_matmul,
+        alt_inputs=lambda rng: [rng.normal(size=(6, 4)), rng.normal(size=(5, 4))],
     ),
     _p(
         "einsum_bilinear",
@@ -330,28 +429,34 @@ CORPUS = [
             rng.normal(size=(2, 4)),
         ],
         _einsum_bilinear,
+        alt_inputs=lambda rng: [
+            rng.normal(size=(4, 3)),
+            rng.normal(size=(3, 4)),
+            rng.normal(size=(4, 4)),
+        ],
     ),
     _p("softmax_xent", _mat(3, 4), _softmax_xent),
-    _p("log_softmax_nll", _mat(3, 4), _log_softmax_nll),
-    _p("normalize_rows", _mat(3, 5), _normalize_rows),
-    _p("logsumexp_margin", _mat(3, 5), _logsumexp_margin),
+    _p("log_softmax_nll", _mat(3, 4), _log_softmax_nll, alt_inputs=_mat(5, 4)),
+    _p("normalize_rows", _mat(3, 5), _normalize_rows, alt_inputs=_mat(6, 5)),
+    _p("logsumexp_margin", _mat(3, 5), _logsumexp_margin, alt_inputs=_mat(6, 5)),
     _p("reshape_transpose", _vec(12), _reshape_transpose),
     _p(
         "concat_then_scale",
         lambda rng: [rng.normal(size=(3,)), rng.normal(size=(3,))],
         _concat_then_scale,
     ),
-    _p("split_then_mix", _vec(6), _split_then_mix),
-    _p("gather_rows", _mat(4, 3), _gather_rows),
-    _p("pad_and_sum", _mat(2, 3), _pad_and_sum),
+    _p("split_then_mix", _vec(6), _split_then_mix, alt_inputs=_vec(8)),
+    _p("gather_rows", _mat(4, 3), _gather_rows, alt_inputs=_mat(6, 3)),
+    _p("pad_and_sum", _mat(2, 3), _pad_and_sum, alt_inputs=_mat(4, 3)),
     _p(
         "broadcast_outer",
         lambda rng: [rng.normal(size=(3,)), rng.normal(size=(4,))],
         _broadcast_outer,
+        alt_inputs=lambda rng: [rng.normal(size=(5,)), rng.normal(size=(6,))],
     ),
-    _p("cond_branch", _vec(6), _cond_branch),
-    _p("while_power", _vec(5), _while_power),
-    _p("while_accumulate", _vec(5), _while_accumulate),
+    _p("cond_branch", _vec(6), _cond_branch, alt_inputs=_vec(9)),
+    _p("while_power", _vec(5), _while_power, alt_inputs=_vec(7)),
+    _p("while_accumulate", _vec(5), _while_accumulate, alt_inputs=_vec(7)),
     _p(
         "rnn_cell_step",
         lambda rng: [
@@ -362,6 +467,13 @@ CORPUS = [
             rng.normal(size=(4,)),
         ],
         _rnn_cell_step,
+        alt_inputs=lambda rng: [
+            rng.normal(size=(5, 3)),
+            rng.normal(size=(5, 4)),
+            rng.normal(size=(3, 4)),
+            rng.normal(size=(4, 4)),
+            rng.normal(size=(4,)),
+        ],
     ),
     _p(
         "rnn_three_steps",
@@ -372,6 +484,12 @@ CORPUS = [
             rng.normal(size=(3,)),
         ],
         _rnn_three_steps,
+        alt_inputs=lambda rng: [
+            rng.normal(size=(5, 3)),
+            rng.normal(size=(3, 3)),
+            rng.normal(size=(3, 3)),
+            rng.normal(size=(3,)),
+        ],
     ),
     _p(
         "conv_relu_pool",
@@ -380,5 +498,9 @@ CORPUS = [
             rng.normal(size=(2, 2, 2, 3)),
         ],
         _conv_relu_pool,
+        alt_inputs=lambda rng: [
+            rng.normal(size=(2, 4, 4, 2)),
+            rng.normal(size=(2, 2, 2, 3)),
+        ],
     ),
 ]

@@ -12,9 +12,16 @@ import pytest
 
 import repro
 from repro.tensor import AsyncTensor
-from tests.harness.parity import CORPUS, MODES, assert_parity, run_program
+from tests.harness.parity import (
+    CORPUS,
+    MODES,
+    assert_parity,
+    assert_relaxed_parity,
+    run_program,
+)
 
 _IDS = [p.name for p in CORPUS]
+_RELAXABLE = [p for p in CORPUS if p.alt_inputs is not None]
 
 
 def test_corpus_is_large_enough():
@@ -29,6 +36,22 @@ def test_modes_agree(program, dtype):
     if dtype not in program.dtypes:
         pytest.skip(f"{program.name} not defined for {dtype}")
     assert_parity(program, dtype)
+
+
+def test_relaxable_subset_is_large_enough():
+    # Shape relaxation must be exercised across most of the corpus, not
+    # a couple of cherry-picked elementwise programs.
+    assert len(_RELAXABLE) >= 20
+
+
+@pytest.mark.parametrize("dtype", ["float32", "float64"])
+@pytest.mark.parametrize("program", _RELAXABLE, ids=[p.name for p in _RELAXABLE])
+def test_relaxed_trace_agrees(program, dtype):
+    """One symbolic trace (batch dims = None) must reproduce sync eager
+    outputs *and* gradients — shape relaxation is semantics-preserving."""
+    if dtype not in program.dtypes:
+        pytest.skip(f"{program.name} not defined for {dtype}")
+    assert_relaxed_parity(program, dtype)
 
 
 def test_async_mode_actually_defers():
