@@ -80,6 +80,10 @@ _RETRACE_THRESHOLD = 5
 #: Minimum calls between two warnings for the same Function.
 _RETRACE_WARN_INTERVAL = 32
 
+#: Bound on the level-0 (fast call path) route map; cleared wholesale
+#: when exceeded — routes re-record lazily on the next slow-path call.
+_FAST_KEY_LIMIT = 1024
+
 
 def _describe_key_leaf(leaf) -> str:
     if isinstance(leaf, tuple) and leaf and leaf[0] == "tensor":
@@ -429,6 +433,12 @@ class Function:
         # Shape-only misses per pattern, with the running most-general
         # merge of the concrete specs seen so far.
         self._pattern_seen: dict = {}
+        # Level 0: (device, dtype/shape per arg) -> where the full
+        # binding-time analysis routed that call.  Serves the common
+        # steady-state call — all-positional eager tensors, no kwargs —
+        # without flatten/bind/key construction (§4.6's lookup cost).
+        self._fast_keys: dict = {}
+        self._last_route: Optional[tuple] = None
         self._stats = {
             "hits": 0,
             "misses": 0,
@@ -479,6 +489,78 @@ class Function:
             stats["size"] = len(self._cache) + len(self._relaxed)
             return stats
 
+    def execution_stats(self, profile=None) -> dict:
+        """Graph-execution statistics for every live trace.
+
+        Returns a dict with one entry per trace (exact and relaxed
+        cache levels), each reporting the fusion outcome (node counts
+        before/after the ``fuse`` pass, fused-region sizes from largest
+        to smallest) and the executor's static memory plan (peak
+        planned live bytes, in-place donation count).  When the
+        concrete function has already built its staged
+        forward/backward pair, those graphs are reported too — the
+        backward function runs through the same fusion pass.
+
+        Per-op wall times come from the existing dispatch-interceptor
+        hooks: pass a :class:`repro.runtime.profiler.Profile` that was
+        active while the function ran (or call this inside an active
+        ``with Profile()`` block) and the report includes its per-op
+        timing table; fused regions appear under ``FusedElementwise``.
+        """
+        from repro.runtime import profiler as _profiler
+
+        def describe(role: str, gf) -> dict:
+            fstats = getattr(gf, "_fusion_stats", None)
+            plan = gf.plan().memory_plan or {}
+            return {
+                "role": role,
+                "name": gf.name,
+                "nodes_before_fusion": (
+                    fstats["nodes_before"] if fstats else gf.num_nodes
+                ),
+                "nodes_after_fusion": (
+                    fstats["nodes_after"] if fstats else gf.num_nodes
+                ),
+                "fused_regions": list(fstats["regions"]) if fstats else [],
+                "fused_ops": fstats["fused_ops"] if fstats else 0,
+                "peak_live_bytes": plan.get("peak_live_bytes", 0),
+                "peak_is_lower_bound": plan.get("lower_bound", False),
+                "donated_nodes": plan.get("donated_nodes", 0),
+            }
+
+        with self._lock:
+            concretes = list(self._cache.values()) + [
+                entry.concrete for entry in self._relaxed.values()
+            ]
+        traces = []
+        for concrete in concretes:
+            trace = describe("forward", concrete.graph_function)
+            trace["trace"] = concrete.name
+            fb = concrete._forward_backward
+            if fb is not None and not isinstance(fb, Exception):
+                trace["staged_forward"] = describe("staged_forward", fb.forward_fn)
+                if fb.backward_fn is not None:
+                    trace["staged_backward"] = describe(
+                        "staged_backward", fb.backward_fn
+                    )
+            traces.append(trace)
+        prof = profile if profile is not None else _profiler.active
+        per_op_time = {}
+        if prof is not None:
+            per_op_time = {
+                name: {
+                    "count": stats.count,
+                    "total_ms": stats.total_seconds * 1e3,
+                    "mean_us": stats.mean_us,
+                }
+                for name, stats in prof.ops.items()
+            }
+        return {
+            "traces": traces,
+            "per_op_time": per_op_time,
+            "cache": self.cache_stats(),
+        }
+
     def __get__(self, instance, owner=None):
         """Support decorating methods: bind like a normal function would."""
         if instance is None:
@@ -490,8 +572,70 @@ class Function:
         return bound
 
     def __call__(self, *args, **kwargs):
+        concrete = None
+        fast_key = None
+        if not kwargs and self._input_signature is None:
+            fast_key = self._fast_call_key(args)
+            if fast_key is not None:
+                concrete = self._lookup_fast(fast_key)
+                if concrete is not None:
+                    return concrete(*args)
         concrete, flat_tensors = self._maybe_trace(args, kwargs)
+        if (
+            fast_key is not None
+            and self._last_route is not None
+            and len(flat_tensors) == len(args)
+            and all(t is a for t, a in zip(flat_tensors, args))
+        ):
+            with self._lock:
+                if len(self._fast_keys) > _FAST_KEY_LIMIT:
+                    self._fast_keys.clear()
+                self._fast_keys[fast_key] = self._last_route
         return concrete(*flat_tensors)
+
+    @staticmethod
+    def _fast_call_key(args) -> Optional[tuple]:
+        """Cheap exact key for an all-eager-Tensor positional call.
+
+        Anything else — variables, ndarrays, nested structures, async
+        tensors (whose shape may not be resolved yet) — returns None and
+        takes the full binding-time analysis path.
+        """
+        parts = [context.current_device_name()]
+        for a in args:
+            if type(a) is not Tensor:
+                return None
+            parts.append(a._dtype)
+            parts.append(a._array.shape)
+        return tuple(parts)
+
+    def _lookup_fast(self, fast_key) -> Optional[ConcreteFunction]:
+        """Serve a previously-routed call shape without rebuilding keys.
+
+        Routes point into the exact or relaxed cache rather than at a
+        concrete directly, so eviction and relaxed-trace widening keep
+        working: a dangling route simply falls back to the slow path,
+        which re-records it.
+        """
+        with self._lock:
+            route = self._fast_keys.get(fast_key)
+            if route is None:
+                return None
+            kind, key = route
+            if kind == "exact":
+                concrete = self._cache.get(key)
+                if concrete is None:
+                    return None
+                self._cache.move_to_end(key)
+            else:
+                entry = self._relaxed.get(key)
+                if entry is None:
+                    return None
+                concrete = entry.concrete
+            self._call_index += 1
+            self._stats["hits"] += 1
+            self._recent_traces.append(False)
+            return concrete
 
     def get_concrete_function(self, *args, **kwargs) -> ConcreteFunction:
         """The monomorphic function this call signature binds to."""
@@ -553,6 +697,7 @@ class Function:
         return context.relax_shapes
 
     def _maybe_trace(self, args, kwargs):
+        self._last_route = None
         args, kwargs = self._canonicalize(args, kwargs)
         if self._input_signature is not None:
             return self._trace_with_signature(args, kwargs)
@@ -565,10 +710,12 @@ class Function:
                 self._cache.move_to_end(key)
                 self._stats["hits"] += 1
                 self._recent_traces.append(False)
+                self._last_route = ("exact", key)
                 return concrete, tensor_leaves
             if self._relax_enabled():
                 concrete = self._lookup_relaxed(key, args, kwargs, tensor_leaves)
                 if concrete is not None:
+                    self._last_route = ("relaxed", self._pattern_key(key))
                     return concrete, tensor_leaves
             self._stats["misses"] += 1
             self._recent_traces.append(True)
@@ -576,6 +723,7 @@ class Function:
             concrete = self._trace(args, kwargs, tensor_leaves)
             self._insert_exact(key, concrete)
             self._last_trace_key = key
+            self._last_route = ("exact", key)
         return concrete, tensor_leaves
 
     def _lookup_relaxed(

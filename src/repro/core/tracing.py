@@ -184,7 +184,13 @@ def replay_into(
             inputs = [mapping[id(t)] for t in node.inputs]
             graph.push_device(node.device)
             try:
-                outputs = execute(node.op_name, inputs, node.attrs, name=node.name)
+                if node.op_name == "FusedElementwise":
+                    # Fusion is a scheduling artifact; replay expands the
+                    # region back into its member primitives so gradients,
+                    # specialization, and lowering see real ops.
+                    outputs = node.attrs["region"].replay(inputs)
+                else:
+                    outputs = execute(node.op_name, inputs, node.attrs, name=node.name)
             finally:
                 graph.pop_device()
             if not isinstance(outputs, tuple):

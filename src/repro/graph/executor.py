@@ -50,9 +50,11 @@ import numpy as np
 
 from repro.framework import dtypes
 from repro.framework.errors import InternalError, InvalidArgumentError
+from repro.ops import registry
 from repro.runtime import dispatch
 from repro.runtime.context import context
 from repro.tensor import Tensor
+from repro.graph.fusion import FUSED_OP, _spec_bytes
 from repro.graph.graph import Graph, Node, SymbolicTensor
 
 __all__ = ["execute_graph", "GraphRunner", "shutdown_thread_pool"]
@@ -196,6 +198,7 @@ class GraphRunner:
                     out_entries,
                     single,
                     (),  # dies: filled by last-use analysis below
+                    None,  # donation slot: filled below
                 ]
             )
 
@@ -212,7 +215,142 @@ class GraphRunner:
                 dies_at.setdefault(pos, []).append(tensor_id)
         for pos, dead in dies_at.items():
             self.plan[pos][7] = tuple(dead)
+
+        # In-place donation slots (static): a node may overwrite an input
+        # whose buffer dies here, when that input is the node's *only*
+        # remaining consumer-reference, was freshly allocated by its
+        # producer (never aliases anything), and matches the output's
+        # static shape and dtype.  Gated with the fusion knob — the two
+        # together are the "static memory plan".  The knob is captured at
+        # plan-build time; flipping it later only affects new plans.
+        if context.graph_fusion:
+            for pos, entry in enumerate(self.plan):
+                node = entry[0]
+                if entry[1] or entry[2] is None or entry[6] is None:
+                    continue
+                inplace = registry.get_inplace_kernel(node.op_name)
+                if inplace is None:
+                    continue
+                out_spec = node.outputs[0].spec
+                if not out_spec.shape.is_fully_defined:
+                    continue
+                for j, t in enumerate(node.inputs):
+                    if self.consumers.get(id(t)) != 1 or id(t) in fetched:
+                        continue
+                    if last_use.get(id(t)) != pos:
+                        continue
+                    if t.dtype != out_spec.dtype:
+                        continue
+                    if not t.shape.is_fully_defined or t.shape != out_spec.shape:
+                        continue
+                    if not self._producer_allocates_fresh(t):
+                        continue
+                    entry[8] = (j, inplace)
+                    break
         self.plan = [tuple(entry) for entry in self.plan]
+        self._build_memory_plan()
+        self._hoist_constants()
+        self._build_parallel_plan()
+
+    def _hoist_constants(self) -> None:
+        """Materialize Const nodes once, at plan-build time.
+
+        A Const kernel is pure and hands out the graph-owned array, so
+        dispatching it every run only pays per-node overhead.  The plan
+        runs each unpinned Const here instead and seeds the run-local
+        value store with the result (``self.const_store``).  Pinned
+        constants (explicit device placement) keep their plan entry and
+        dispatch normally.  Consumers can never donate these buffers —
+        Const registers no in-place kernel, so the freshness check in
+        the donation planner already rejects them.
+        """
+        self.const_store: dict[int, Tensor] = {}
+        cpu = context.cpu_device()
+        kept = []
+        for entry in self.plan:
+            _n, _ph, kernel, attrs, in_ids, _out, single, _d, _don = entry
+            if (
+                entry[0].op_name != "Const"
+                or kernel is None
+                or in_ids
+                or single is None
+            ):
+                kept.append(entry)
+                continue
+            out_id, keep, out_dtype = single
+            if not keep:
+                continue  # dead constant: neither consumed nor fetched
+            r = kernel([], attrs, cpu)
+            arr = r if isinstance(r, np.ndarray) else np.asarray(r)
+            if arr.flags.writeable:
+                arr.flags.writeable = False
+            self.const_store[out_id] = Tensor._from_buffer(arr, out_dtype, cpu)
+        self.plan = kept
+
+    @staticmethod
+    def _producer_allocates_fresh(t: SymbolicTensor) -> bool:
+        """Does ``t``'s producing kernel always return a fresh buffer?
+
+        The in-place kernel registry doubles as the whitelist: an op only
+        registers one if its normal kernel never returns (a view of) an
+        input.  Fused regions track freshness per output.
+        """
+        node = t.node
+        if node.op_name == FUSED_OP:
+            return node.attrs["region"].fresh_outputs[t.index]
+        return registry.has_inplace_kernel(node.op_name)
+
+    def _build_memory_plan(self) -> None:
+        """Static walk of the schedule, tracking live intermediate bytes.
+
+        Produces ``self.memory_plan``: the peak number of bytes of
+        *executor-produced* values live at once (placeholder feeds are
+        caller-owned and count zero), assuming every intermediate is
+        freed at its planned death.  Unknown dimensions count as 1, so
+        symbolic plans report a lower bound (flagged).
+        """
+        live = 0
+        peak = 0
+        lower = False
+        donated = 0
+        fused = 0
+        bytes_of: dict[int, int] = {}
+        for node, is_ph, _k, attrs, in_ids, out_entries, _s, dies, donate in self.plan:
+            if is_ph:
+                bytes_of[out_entries[0][0]] = 0
+                continue
+            if node.op_name == FUSED_OP:
+                fused += 1
+                region = attrs["region"]
+                peak = max(peak, live + region.internal_peak_bytes)
+                lower |= region.peak_is_lower_bound
+            transferred = 0
+            if donate is not None:
+                donated += 1
+                donated_id = in_ids[donate[0]]
+                transferred = bytes_of.get(donated_id, 0)
+                bytes_of[donated_id] = 0
+            for sym, (out_id, keep, _dt) in zip(node.outputs, out_entries):
+                if not keep:
+                    continue
+                nbytes, lb = _spec_bytes(sym.spec)
+                lower |= lb
+                if donate is not None and sym.index == 0:
+                    bytes_of[out_id] = transferred
+                else:
+                    bytes_of[out_id] = nbytes
+                    live += nbytes
+                    if live > peak:
+                        peak = live
+            for i in dies:
+                live -= bytes_of.pop(i, 0)
+        self.memory_plan = {
+            "peak_live_bytes": peak,
+            "lower_bound": lower,
+            "donated_nodes": donated,
+            "fused_nodes": fused,
+            "num_nodes": len(self.plan),
+        }
 
     # -- serial ----------------------------------------------------------
     def run(self, feeds, parallel: bool = False) -> list[Tensor]:
@@ -249,13 +387,13 @@ class GraphRunner:
                 )
 
     def _run_serial(self, feed_values: dict[int, Tensor]) -> list[Tensor]:
-        store: dict[int, Tensor] = {}
+        store: dict[int, Tensor] = dict(self.const_store)
         cpu = context.cpu_device()
         core = dispatch.core
         from_buffer = Tensor._from_buffer
         as_dtype = dtypes.as_dtype
         ndarray = np.ndarray
-        for node, is_placeholder, kernel, attrs, in_ids, out_entries, single, dies in self.plan:
+        for node, is_placeholder, kernel, attrs, in_ids, out_entries, single, dies, donate in self.plan:
             if is_placeholder:
                 try:
                     value = feed_values[id(node)]
@@ -285,7 +423,22 @@ class GraphRunner:
                     arrays.append(t._array)
             if arrays is not None:
                 cpu._kernel_launches += 1
-                r = kernel(arrays, attrs, cpu)
+                r = None
+                if donate is not None:
+                    # Planned buffer donation: overwrite the dying input
+                    # in place.  Runtime guards (owned buffer, thawable,
+                    # kernel accepts the out= shape) fall back to the
+                    # allocating kernel — a polymorphic caller may have
+                    # fed shapes the static plan did not anticipate.
+                    buf = arrays[donate[0]]
+                    if buf.base is None:
+                        try:
+                            buf.flags.writeable = True
+                            r = donate[1](arrays, attrs, cpu, buf)
+                        except (ValueError, TypeError):
+                            r = None
+                if r is None:
+                    r = kernel(arrays, attrs, cpu)
                 if single is not None and type(r) is ndarray:
                     out_id, keep, out_dtype = single
                     if keep:
@@ -330,77 +483,182 @@ class GraphRunner:
             raise InternalError(f"Fetch {t.name!r} was not computed") from None
 
     # -- parallel -------------------------------------------------------------
-    def _run_parallel(self, feed_values: dict[int, Tensor]) -> list[Tensor]:
-        # Dependency counts; stateful nodes chain in program order.
-        deps: dict[int, int] = {}
-        dependents: dict[int, list[Node]] = {}
-        prev_stateful: Optional[Node] = None
-        node_index = {id(n): n for n in self.schedule}
-        for node in self.schedule:
-            count = 0
-            seen: set[int] = set()
+
+    #: Nodes whose static output-element cost is at or below this bound
+    #: are "tiny": scheduling one as its own parallel task costs more
+    #: than running it.  Sole-consumer chains of tiny nodes collapse
+    #: into one serial-island task.
+    TINY_TASK_ELEMENTS = 1 << 14
+
+    def _task_cost(self, node: Node) -> Optional[int]:
+        """Static per-dispatch cost estimate in output elements."""
+        total = 0
+        for sym in node.outputs:
+            n = sym.spec.shape.num_elements()
+            if n is None:
+                return None
+            total += n
+        if node.op_name == FUSED_OP:
+            # A fused dispatch runs the whole region.
+            total *= node.attrs["region"].size
+        return total
+
+    def _is_tiny(self, node: Node) -> bool:
+        if node.op_name == "Placeholder":
+            return False
+        if node.device is not None or node.control_inputs:
+            return False
+        op_def = node.op_def
+        if op_def.is_stateful or op_def.has_side_effects:
+            return False
+        cost = self._task_cost(node)
+        return cost is not None and cost <= self.TINY_TASK_ELEMENTS
+
+    def _build_parallel_plan(self) -> None:
+        """Contract the schedule into parallel tasks.
+
+        A fused region is already one task.  Beyond that, a tiny node
+        whose single output is consumed by exactly one (tiny) node melts
+        into that consumer's task — the resulting serial islands are
+        in-trees, so contraction can never create a cycle, and the task
+        graph is emitted in topological index order.  Dependency counts
+        and dependent lists are precomputed; each run copies the counts.
+        """
+        schedule = self.schedule
+        pos_of = {id(n): i for i, n in enumerate(schedule)}
+
+        consumer_positions: dict[int, set[int]] = {}
+        for i, node in enumerate(schedule):
             for t in node.inputs:
-                if id(t.node) in node_index and id(t.node) not in seen:
-                    seen.add(id(t.node))
-                    count += 1
-                    dependents.setdefault(id(t.node), []).append(node)
+                p = pos_of.get(id(t.node))
+                if p is not None:
+                    consumer_positions.setdefault(p, set()).add(i)
+        fetched_nodes = {
+            id(t.node) for t in self.fetches if not isinstance(t, Node)
+        }
+
+        # position -> the position of the consumer it melts into.
+        melt: dict[int, int] = {}
+        for i, node in enumerate(schedule):
+            if id(node) in fetched_nodes or not self._is_tiny(node):
+                continue
+            cons = consumer_positions.get(i)
+            if cons is None or len(cons) != 1:
+                continue
+            (j,) = cons
+            if j > i and self._is_tiny(schedule[j]):
+                melt[i] = j
+
+        def island_root(i: int) -> int:
+            while i in melt:
+                i = melt[i]
+            return i
+
+        groups: dict[int, list[int]] = {}
+        for i in range(len(schedule)):
+            groups.setdefault(island_root(i), []).append(i)
+
+        self.par_tasks: list[list[Node]] = []
+        task_of: dict[int, int] = {}
+        for root in sorted(groups):
+            members = sorted(groups[root])
+            for i in members:
+                task_of[i] = len(self.par_tasks)
+            self.par_tasks.append([schedule[i] for i in members])
+
+        n_tasks = len(self.par_tasks)
+        self.par_deps: list[int] = [0] * n_tasks
+        self.par_dependents: list[list[int]] = [[] for _ in range(n_tasks)]
+        edges: set[tuple[int, int]] = set()
+
+        def add_edge(src: int, dst: int) -> None:
+            if src != dst and (src, dst) not in edges:
+                edges.add((src, dst))
+                self.par_deps[dst] += 1
+                self.par_dependents[src].append(dst)
+
+        prev_stateful_task: Optional[int] = None
+        for i, node in enumerate(schedule):
+            ti = task_of[i]
+            for t in node.inputs:
+                p = pos_of.get(id(t.node))
+                if p is not None:
+                    add_edge(task_of[p], ti)
             if node.op_def.is_stateful:
-                if prev_stateful is not None and id(prev_stateful) not in seen:
-                    count += 1
-                    dependents.setdefault(id(prev_stateful), []).append(node)
-                prev_stateful = node
-            deps[id(node)] = count
+                # Stateful operations serialize in program order.
+                if prev_stateful_task is not None:
+                    add_edge(prev_stateful_task, ti)
+                prev_stateful_task = ti
+
+    def _run_parallel(self, feed_values: dict[int, Tensor]) -> list[Tensor]:
+        deps = list(self.par_deps)
+        counts = dict(self.consumers)
 
         store: dict[int, Tensor] = {}
         store_lock = threading.Lock()
         done = threading.Event()
         errors: list[BaseException] = []
-        pending = len(self.schedule)
-        pending_lock = threading.Lock()
+        pending = len(self.par_tasks)
         pool = _thread_pool()
 
-        def finish_node(node: Node) -> None:
+        def finish_task(index: int) -> None:
             nonlocal pending
-            with pending_lock:
+            ready: list[int] = []
+            with store_lock:
                 pending -= 1
                 if pending == 0:
                     done.set()
-            ready: list[Node] = []
-            with store_lock:
-                for dep in dependents.get(id(node), []):
-                    deps[id(dep)] -= 1
-                    if deps[id(dep)] == 0:
+                for dep in self.par_dependents[index]:
+                    deps[dep] -= 1
+                    if deps[dep] == 0:
                         ready.append(dep)
             for dep in ready:
-                pool.submit(run_one, dep)
+                pool.submit(run_task, dep)
 
-        def run_one(node: Node) -> None:
+        def run_task(index: int) -> None:
             if errors:
                 done.set()
                 return
             try:
-                if node.op_name == "Placeholder":
-                    value = feed_values[id(node)]
-                    with store_lock:
-                        store[id(node.outputs[0])] = value
-                else:
+                for node in self.par_tasks[index]:
+                    if node.op_name == "Placeholder":
+                        value = feed_values[id(node)]
+                        out_id = id(node.outputs[0])
+                        with store_lock:
+                            if out_id in counts:
+                                store[out_id] = value
+                        continue
                     with store_lock:
                         inputs = [store[id(t)] for t in node.inputs]
                     outputs = _dispatch_node(node, inputs)
                     with store_lock:
                         for out_sym, out_val in zip(node.outputs, outputs):
-                            store[id(out_sym)] = out_val
+                            if id(out_sym) in counts:
+                                store[id(out_sym)] = out_val
+                        # Per-run reference counts: free a buffer as its
+                        # last consumer retires (fetches hold an extra
+                        # reference, so they can never hit zero here).
+                        for t in node.inputs:
+                            tid = id(t)
+                            c = counts.get(tid)
+                            if c is None:
+                                continue
+                            if c == 1:
+                                del counts[tid]
+                                store.pop(tid, None)
+                            else:
+                                counts[tid] = c - 1
             except BaseException as exc:  # noqa: BLE001 - surfaced to caller
                 errors.append(exc)
                 done.set()
                 return
-            finish_node(node)
+            finish_task(index)
 
-        roots = [n for n in self.schedule if deps[id(n)] == 0]
-        if not self.schedule:
+        if not self.par_tasks:
             done.set()
-        for node in roots:
-            pool.submit(run_one, node)
+        roots = [i for i, d in enumerate(deps) if d == 0]
+        for index in roots:
+            pool.submit(run_task, index)
         done.wait()
         if errors:
             raise errors[0]

@@ -1,0 +1,693 @@
+"""Graph-native elementwise fusion.
+
+Staged execution amortizes Python overhead, but the interpreter still
+pays one dispatch (kernel resolution, buffer wrapping, scheduling) per
+node.  For elementwise-heavy programs — activation chains, optimizer
+update rules, most of a backward pass — that per-node cost dominates,
+and every intermediate is materialized as a full tensor.
+
+The ``fuse`` pass collapses maximal DAG-shaped regions of elementwise
+operations into single ``FusedElementwise`` nodes.  Each fused node
+carries a :class:`FusionRegion`: a precompiled closure that runs the
+member kernels back-to-back over a local value stack, dropping dead
+intermediates eagerly and writing into dying buffers in place (via the
+registry's in-place kernel variants) when shapes are static.  The
+executor dispatches the whole region as one operation.
+
+Fusion is a *pure scheduling* rewrite: the region replays back into its
+member primitives for anything that needs per-op structure —
+differentiation, per-shape specialization, XLA lowering, serialization
+(:func:`defuse_function`).  Forward and backward graph functions each
+run their own optimization pipeline, so both re-fuse independently.
+
+Clustering is greedy over the topologically-ordered node list.  A node
+joins the cluster of the first eligible input producer, subject to an
+exact cycle check: every input produced *outside* the cluster must have
+no ancestor *inside* it (ancestor sets are bitmasks over node
+positions).  Because clusters only grow downward from a seed along real
+edges and the node list is topological, this local check is sufficient
+to keep the contracted graph acyclic; a final Kahn sweep verifies that
+invariant and abandons fusion entirely if it ever fails.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Optional, Sequence
+
+from repro.framework import dtypes
+from repro.ops import registry
+from repro.tensor import TensorSpec
+from repro.graph.graph import Graph, Node, SymbolicTensor
+
+__all__ = [
+    "FUSED_OP",
+    "FusionRegion",
+    "fuse_function",
+    "defuse_function",
+    "has_fused_nodes",
+]
+
+FUSED_OP = "FusedElementwise"
+
+#: Candidate member set — shared with the XLA-sim fusion heuristics.
+FUSABLE_OPS = registry.ELEMENTWISE_OPS
+
+#: Don't emit a fused node for fewer than this many members (a region
+#: of one is just an op with extra indirection).
+MIN_REGION_SIZE = 2
+
+# Ops whose kernel may return an input array (or a view of it) instead
+# of a fresh allocation.  Their outputs can never donate their buffer,
+# and anything they alias is pinned.
+_ALIAS_OPS = frozenset({"Identity", "StopGradient"})
+
+
+class _SpecView:
+    """Minimal symbolic-input stand-in for re-running shape inference."""
+
+    __slots__ = ("shape", "dtype", "constant_value")
+
+    def __init__(self, shape, dtype) -> None:
+        self.shape = shape
+        self.dtype = dtype
+        self.constant_value = None
+
+
+def _spec_bytes(spec: TensorSpec) -> tuple[int, bool]:
+    """(byte estimate, is_lower_bound) for one tensor spec.
+
+    Unknown dimensions count as 1, making the estimate a lower bound.
+    """
+    dims = spec.shape.dims
+    if dims is None:
+        return spec.dtype.size, True
+    n = 1
+    lower = False
+    for d in dims:
+        if d is None:
+            lower = True
+        else:
+            n *= d
+    return max(n, 1) * spec.dtype.size, lower
+
+
+class FusionRegion:
+    """A precompiled cluster of elementwise operations.
+
+    Values live on a flat slot list: slots ``0..num_inputs-1`` are the
+    region's external inputs, slot ``num_inputs + k`` is the output of
+    step ``k``.  Each step is a tuple
+
+        ``(op_name, kernel, inplace_kernel, attrs, in_refs, donate, dies)``
+
+    where ``donate`` is the slot whose (dying, fresh, exclusively-owned)
+    buffer the step overwrites via its in-place kernel, or -1, and
+    ``dies`` lists internal slots whose last use is this step.
+    """
+
+    __slots__ = (
+        "steps",
+        "out_refs",
+        "num_inputs",
+        "op_names",
+        "fresh_outputs",
+        "internal_peak_bytes",
+        "peak_is_lower_bound",
+        "donated_steps",
+        "_compiled",
+    )
+
+    def __init__(
+        self,
+        steps: Sequence[tuple],
+        out_refs: Sequence[int],
+        num_inputs: int,
+        op_names: Sequence[str],
+        fresh_outputs: Sequence[bool],
+        internal_peak_bytes: int,
+        peak_is_lower_bound: bool,
+        donated_steps: int,
+    ) -> None:
+        self.steps = tuple(steps)
+        self.out_refs = tuple(out_refs)
+        self.num_inputs = num_inputs
+        self.op_names = tuple(op_names)
+        self.fresh_outputs = tuple(fresh_outputs)
+        self.internal_peak_bytes = internal_peak_bytes
+        self.peak_is_lower_bound = peak_is_lower_bound
+        self.donated_steps = donated_steps
+        try:
+            self._compiled = self._compile()
+        except Exception:  # pragma: no cover - codegen is deterministic
+            self._compiled = None
+
+    @property
+    def size(self) -> int:
+        """Number of primitive operations the region covers."""
+        return len(self.steps)
+
+    def _compile(self):
+        """Specialize the step loop into one generated Python function.
+
+        The region's structure is static, so the slot indirection, the
+        per-step tuple unpacking, and the free-list walk can all be
+        resolved at build time: each slot becomes a local, each step a
+        single kernel call with its arguments named inline.  Semantics
+        are identical to the interpreted loop in :meth:`__call__`
+        (which remains as the fallback), including the in-place
+        donation fallback for polymorphic callers.
+        """
+        n = self.num_inputs
+        env = {"ValueError": ValueError, "TypeError": TypeError}
+        lines = ["def _run(inputs, device):"]
+        if n == 1:
+            lines.append("    v0, = inputs")
+        elif n:
+            lines.append(
+                "    " + ", ".join(f"v{i}" for i in range(n)) + " = inputs"
+            )
+        for k, (_op, kernel, inplace, attrs, in_refs, donate, dies) in enumerate(
+            self.steps
+        ):
+            out = f"v{n + k}"
+            env[f"K{k}"] = kernel
+            env[f"A{k}"] = attrs
+            args = (
+                "("
+                + ", ".join(f"v{r}" for r in in_refs)
+                + ("," if len(in_refs) == 1 else "")
+                + ")"
+            )
+            if donate >= 0:
+                env[f"P{k}"] = inplace
+                lines.append("    try:")
+                lines.append(f"        {out} = P{k}({args}, A{k}, device, v{donate})")
+                lines.append("    except (ValueError, TypeError):")
+                lines.append(f"        {out} = K{k}({args}, A{k}, device)")
+            else:
+                lines.append(f"    {out} = K{k}({args}, A{k}, device)")
+            # Match the interpreter's free list: drop dead internals so
+            # the planned internal peak holds for compiled runs too.
+            for d in dies:
+                lines.append(f"    v{d} = None")
+        outs = [f"v{r}" for r in self.out_refs]
+        lines.append(
+            "    return "
+            + (outs[0] if len(outs) == 1 else "(" + ", ".join(outs) + ")")
+        )
+        exec(compile("\n".join(lines), "<fusion-region>", "exec"), env)
+        return env["_run"]
+
+    def __call__(self, inputs, device):
+        """Run the region's kernels over concrete arrays."""
+        run = self._compiled
+        if run is not None:
+            return run(inputs, device)
+        vals = list(inputs)
+        for _op, kernel, inplace, attrs, in_refs, donate, dies in self.steps:
+            args = [vals[r] for r in in_refs]
+            if donate >= 0:
+                # Static shape/dtype checks made this safe at build
+                # time; a ufunc still raises if a polymorphic caller
+                # fed mismatched buffers — fall back to allocating.
+                try:
+                    out = inplace(args, attrs, device, vals[donate])
+                except (ValueError, TypeError):
+                    out = kernel(args, attrs, device)
+            else:
+                out = kernel(args, attrs, device)
+            vals.append(out)
+            for d in dies:
+                vals[d] = None
+        out_refs = self.out_refs
+        if len(out_refs) == 1:
+            return vals[out_refs[0]]
+        return tuple(vals[r] for r in out_refs)
+
+    def infer(self, inputs, attrs=None):
+        """Re-run member shape inference; one spec per region output."""
+        specs = [_SpecView(t.shape, t.dtype) for t in inputs]
+        for op_name, _k, _ik, step_attrs, in_refs, _d, _dies in self.steps:
+            op_def = registry.get_op_def(op_name)
+            out = op_def.infer([specs[r] for r in in_refs], step_attrs)
+            specs.append(_SpecView(out[0].shape, out[0].dtype))
+        return [TensorSpec(specs[r].shape, specs[r].dtype) for r in self.out_refs]
+
+    def replay(self, inputs):
+        """Re-stage the member primitives (symbolic expansion).
+
+        Used wherever per-op structure matters again: differentiation,
+        specialization, XLA lowering, serialization.  Must run inside a
+        graph-building context; returns one symbolic tensor per region
+        output.
+        """
+        from repro.runtime.executor import execute
+
+        vals = list(inputs)
+        for op_name, _k, _ik, step_attrs, in_refs, _d, _dies in self.steps:
+            vals.append(execute(op_name, [vals[r] for r in in_refs], step_attrs))
+        return tuple(vals[r] for r in self.out_refs)
+
+    def __repr__(self) -> str:
+        return (
+            f"<FusionRegion {'+'.join(self.op_names)}: {self.num_inputs} inputs "
+            f"-> {len(self.out_refs)} outputs, {self.donated_steps} in-place>"
+        )
+
+
+# ---------------------------------------------------------------------------
+# The FusedElementwise operation
+# ---------------------------------------------------------------------------
+
+def _fused_infer(inputs, attrs):
+    return attrs["region"].infer(inputs)
+
+
+registry.register_op(FUSED_OP, infer_fn=_fused_infer)
+
+
+@registry.register_kernel(FUSED_OP, ("CPU", "GPU"))
+def _fused_kernel(inputs, attrs, device):
+    return attrs["region"](inputs, device)
+
+
+# No gradient is registered for FusedElementwise on purpose: gradient
+# construction replays the region into primitives first (see
+# ``repro.core.tracing.replay_into``), so the tape only ever sees ops
+# with real gradient rules.
+
+
+# ---------------------------------------------------------------------------
+# Clustering
+# ---------------------------------------------------------------------------
+
+def _fusable(node: Node) -> bool:
+    if node.op_name not in FUSABLE_OPS:
+        return False
+    if node.device is not None or node.control_inputs:
+        return False
+    if len(node.outputs) != 1:
+        return False
+    if node.outputs[0].dtype in (dtypes.resource, dtypes.variant):
+        return False
+    op_def = node.op_def
+    if op_def.is_stateful or op_def.has_side_effects:
+        return False
+    return registry.has_kernel(node.op_name, "CPU")
+
+
+def _ancestor_masks(nodes: list[Node], pos_of: dict[int, int]) -> list[int]:
+    """Per-node ancestor sets as bitmasks over node-list positions."""
+    masks = [0] * len(nodes)
+    for i, node in enumerate(nodes):
+        a = 0
+        for t in node.inputs:
+            p = pos_of.get(id(t.node))
+            if p is not None:
+                a |= masks[p] | (1 << p)
+        for c in node.control_inputs:
+            p = pos_of.get(id(c))
+            if p is not None:
+                a |= masks[p] | (1 << p)
+        masks[i] = a
+    return masks
+
+
+def _cluster(nodes: list[Node], pos_of: dict[int, int]) -> tuple[dict, list]:
+    """Greedy downward clustering with the exact acyclicity check.
+
+    Returns ``(cluster_of, members)``: position -> cluster id, and the
+    member-position lists (ascending, i.e. topological).
+    """
+    ancestors = _ancestor_masks(nodes, pos_of)
+    cluster_of: dict[int, int] = {}
+    members: list[list[int]] = []
+    masks: list[int] = []
+
+    def can_union(src: int, dst: int) -> bool:
+        """Is contracting clusters ``src`` + ``dst`` still acyclic?
+
+        Exact condition: no external input producer of the combined set
+        may have an ancestor inside it (such a producer would sit on a
+        path that leaves the set and comes back).
+        """
+        combined = masks[src] | masks[dst]
+        for m in members[src] + members[dst]:
+            for t in nodes[m].inputs:
+                w = pos_of.get(id(t.node))
+                if w is None or (combined >> w) & 1:
+                    continue
+                if ancestors[w] & combined:
+                    return False
+        return True
+
+    def union(src: int, dst: int) -> None:
+        for m in members[src]:
+            cluster_of[m] = dst
+        merged = sorted(members[dst] + members[src])
+        members[dst] = merged
+        masks[dst] |= masks[src]
+        members[src] = []
+        masks[src] = 0
+
+    for i, node in enumerate(nodes):
+        if not _fusable(node):
+            continue
+        joined = -1
+        for t in node.inputs:
+            p = pos_of.get(id(t.node))
+            if p is None:
+                continue
+            cid = cluster_of.get(p, -1)
+            if cid < 0:
+                continue
+            cmask = masks[cid]
+            ok = True
+            for t2 in node.inputs:
+                q = pos_of.get(id(t2.node))
+                if q is None or cluster_of.get(q, -1) == cid:
+                    continue
+                if ancestors[q] & cmask:
+                    # Joining would route a path out of the cluster and
+                    # back in — a cycle once contracted.
+                    ok = False
+                    break
+            if ok:
+                joined = cid
+                break
+        if joined >= 0:
+            cluster_of[i] = joined
+            members[joined].append(i)
+            masks[joined] |= 1 << i
+            # A join point may connect further clusters (the other
+            # operands of a DAG merge node): union them in when the
+            # contracted result stays acyclic.
+            for t in node.inputs:
+                q = pos_of.get(id(t.node))
+                if q is None:
+                    continue
+                other = cluster_of.get(q, -1)
+                if other < 0 or other == joined:
+                    continue
+                if can_union(other, joined):
+                    union(other, joined)
+        else:
+            cluster_of[i] = len(members)
+            members.append([i])
+            masks.append(1 << i)
+    return cluster_of, members
+
+
+def _contracted_is_acyclic(
+    nodes: list[Node], pos_of: dict[int, int], kept_cluster_of: dict[int, int]
+) -> bool:
+    """Kahn sweep over the cluster-contracted graph (safety net)."""
+    def key_of(p: int):
+        cid = kept_cluster_of.get(p)
+        return ("c", cid) if cid is not None else ("n", p)
+
+    adj: dict = {}
+    indeg: dict = {}
+    for i, node in enumerate(nodes):
+        kv = key_of(i)
+        adj.setdefault(kv, set())
+        indeg.setdefault(kv, 0)
+        preds = [t.node for t in node.inputs] + list(node.control_inputs)
+        for pn in preds:
+            p = pos_of.get(id(pn))
+            if p is None:
+                continue
+            ku = key_of(p)
+            if ku == kv:
+                continue
+            succs = adj.setdefault(ku, set())
+            indeg.setdefault(ku, 0)
+            if kv not in succs:
+                succs.add(kv)
+                indeg[kv] += 1
+    queue = deque(k for k in adj if indeg[k] == 0)
+    seen = 0
+    while queue:
+        u = queue.popleft()
+        seen += 1
+        for v in adj[u]:
+            indeg[v] -= 1
+            if indeg[v] == 0:
+                queue.append(v)
+    return seen == len(adj)
+
+
+# ---------------------------------------------------------------------------
+# Region construction
+# ---------------------------------------------------------------------------
+
+def _build_region(
+    member_nodes: list[Node], escaping: set[int]
+) -> tuple[FusionRegion, list[SymbolicTensor], list[SymbolicTensor]]:
+    """Compile one cluster; returns (region, ext inputs, escaping outs)."""
+    member_ids = {id(n) for n in member_nodes}
+
+    ext_tensors: list[SymbolicTensor] = []
+    ext_index: dict[int, int] = {}
+    for node in member_nodes:
+        for t in node.inputs:
+            if id(t.node) in member_ids or id(t) in ext_index:
+                continue
+            ext_index[id(t)] = len(ext_tensors)
+            ext_tensors.append(t)
+    num_ext = len(ext_tensors)
+
+    slot_of: dict[int, int] = {
+        id(node.outputs[0]): num_ext + k for k, node in enumerate(member_nodes)
+    }
+    step_in_refs = [
+        tuple(
+            slot_of[id(t)] if id(t.node) in member_ids else ext_index[id(t)]
+            for t in node.inputs
+        )
+        for node in member_nodes
+    ]
+
+    out_members = [
+        k for k, node in enumerate(member_nodes) if id(node.outputs[0]) in escaping
+    ]
+    out_refs = [num_ext + k for k in out_members]
+    out_ref_set = set(out_refs)
+
+    # Last internal use per slot (a slot in out_refs never dies).
+    last_use: dict[int, int] = {}
+    for k, refs in enumerate(step_in_refs):
+        for r in refs:
+            if r >= num_ext:
+                last_use[r] = k
+
+    # Buffer aliasing: alias-op outputs share their input's buffer.
+    root = list(range(num_ext))
+    for k, node in enumerate(member_nodes):
+        if node.op_name in _ALIAS_OPS:
+            root.append(root[step_in_refs[k][0]])
+        else:
+            root.append(num_ext + k)
+    owner_count: dict[int, int] = {}
+    for r in root:
+        owner_count[r] = owner_count.get(r, 0) + 1
+    shared_roots = {r for r, c in owner_count.items() if c > 1}
+
+    # Pick at most one in-place donation per step: a dying, fresh,
+    # exclusively-owned internal input with matching static shape/dtype.
+    donates: list[int] = []
+    for k, node in enumerate(member_nodes):
+        donate = -1
+        inplace = registry.get_inplace_kernel(node.op_name)
+        out_spec = node.outputs[0].spec
+        if inplace is not None and out_spec.shape.is_fully_defined:
+            for r in step_in_refs[k]:
+                if r < num_ext or r in out_ref_set:
+                    continue
+                if last_use.get(r) != k:
+                    continue
+                if root[r] != r or r in shared_roots:
+                    continue
+                src = member_nodes[r - num_ext].outputs[0]
+                if src.dtype != out_spec.dtype:
+                    continue
+                if not src.shape.is_fully_defined or src.shape != out_spec.shape:
+                    continue
+                donate = r
+                break
+        donates.append(donate)
+
+    # Assemble steps + static transient-memory accounting.
+    steps = []
+    slot_bytes: dict[int, int] = {}
+    live = 0
+    peak = 0
+    lower_bound = False
+    for k, node in enumerate(member_nodes):
+        s = num_ext + k
+        dies = tuple(
+            r
+            for r in set(step_in_refs[k])
+            if r >= num_ext and last_use.get(r) == k and r not in out_ref_set
+        )
+        nbytes, lb = _spec_bytes(node.outputs[0].spec)
+        lower_bound |= lb
+        donate = donates[k]
+        if donate >= 0:
+            slot_bytes[s] = slot_bytes.get(donate, nbytes)
+            slot_bytes[donate] = 0
+        elif node.op_name in _ALIAS_OPS:
+            slot_bytes[s] = 0  # a view; the root slot owns the bytes
+        else:
+            slot_bytes[s] = nbytes
+            live += nbytes
+            peak = max(peak, live)
+        for d in dies:
+            live -= slot_bytes.get(d, 0)
+            slot_bytes[d] = 0
+        steps.append(
+            (
+                node.op_name,
+                registry.get_kernel(node.op_name, "CPU"),
+                registry.get_inplace_kernel(node.op_name) if donate >= 0 else None,
+                node.attrs,
+                step_in_refs[k],
+                donate,
+                dies,
+            )
+        )
+
+    fresh_outputs = [
+        root[r] == r and r not in shared_roots for r in out_refs
+    ]
+    region = FusionRegion(
+        steps=steps,
+        out_refs=out_refs,
+        num_inputs=num_ext,
+        op_names=[n.op_name for n in member_nodes],
+        fresh_outputs=fresh_outputs,
+        internal_peak_bytes=peak,
+        peak_is_lower_bound=lower_bound,
+        donated_steps=sum(1 for d in donates if d >= 0),
+    )
+    escaping_outs = [member_nodes[k].outputs[0] for k in out_members]
+    return region, ext_tensors, escaping_outs
+
+
+# ---------------------------------------------------------------------------
+# The pass
+# ---------------------------------------------------------------------------
+
+def fuse_function(fn) -> int:
+    """Fuse elementwise regions of ``fn``'s graph in place.
+
+    Returns the number of fused nodes created, and records
+    ``fn._fusion_stats`` (node counts before/after and region sizes).
+    """
+    graph: Graph = fn.graph
+    nodes = graph.nodes
+    before = len(nodes)
+    if before < MIN_REGION_SIZE:
+        return 0
+    pos_of = {id(node): i for i, node in enumerate(nodes)}
+
+    cluster_of, members = _cluster(nodes, pos_of)
+    kept = [cid for cid, ms in enumerate(members) if len(ms) >= MIN_REGION_SIZE]
+    if not kept:
+        fn._fusion_stats = {
+            "nodes_before": before,
+            "nodes_after": before,
+            "regions": [],
+            "fused_ops": 0,
+        }
+        return 0
+    kept_set = set(kept)
+    kept_cluster_of = {
+        p: cid for p, cid in cluster_of.items() if cid in kept_set
+    }
+    if not _contracted_is_acyclic(nodes, pos_of, kept_cluster_of):
+        # Should be unreachable given the merge-time check; abandon
+        # fusion for this graph rather than risk an unschedulable plan.
+        return 0
+
+    # Which member outputs escape their cluster (or are fetched)?
+    escaping = {id(t) for t in fn.outputs}
+    for i, node in enumerate(nodes):
+        ci = kept_cluster_of.get(i)
+        for t in node.inputs:
+            p = pos_of.get(id(t.node))
+            if p is None:
+                continue
+            cp = kept_cluster_of.get(p)
+            if cp is not None and cp != ci:
+                escaping.add(id(t))
+
+    replacements: dict[int, SymbolicTensor] = {}
+    removed: set[int] = set()
+    fused_at: dict[int, Node] = {}
+    region_sizes: list[int] = []
+    for cid in kept:
+        positions = members[cid]
+        member_nodes = [nodes[p] for p in positions]
+        region, ext_tensors, escaping_outs = _build_region(member_nodes, escaping)
+        fused = Node(
+            graph=graph,
+            name=graph.unique_name("fused"),
+            op_name=FUSED_OP,
+            inputs=ext_tensors,
+            attrs={"region": region},
+            device=None,
+            output_specs=[t.spec for t in escaping_outs],
+        )
+        for old, new in zip(escaping_outs, fused.outputs):
+            new._constant_value = old._constant_value
+            replacements[id(old)] = new
+        # The fused node takes the last member's list position; the
+        # closing topological sort repairs any consumer that sat
+        # between members (safe — the merge check ruled out cycles).
+        fused_at[positions[-1]] = fused
+        removed.update(positions[:-1])
+        region_sizes.append(region.size)
+
+    graph.nodes = [
+        fused_at.get(i, node)
+        for i, node in enumerate(nodes)
+        if i not in removed
+    ]
+    graph.apply_replacements(replacements)
+    fn.outputs = [replacements.get(id(t), t) for t in fn.outputs]
+    fn._runner = None
+
+    from repro.graph.optimize import _topological_sort
+
+    _topological_sort(fn)
+    fn._fusion_stats = {
+        "nodes_before": before,
+        "nodes_after": len(graph.nodes),
+        "regions": sorted(region_sizes, reverse=True),
+        "fused_ops": sum(region_sizes),
+    }
+    return len(region_sizes)
+
+
+def has_fused_nodes(fn) -> bool:
+    return any(n.op_name == FUSED_OP for n in fn.graph.nodes)
+
+
+def defuse_function(fn):
+    """A clone of ``fn`` with fused nodes expanded back to primitives.
+
+    Symbolic replay (:func:`repro.core.tracing.replay_into`) expands
+    ``FusedElementwise`` nodes as it goes; no optimization passes run on
+    the clone, so the result is plain primitives — what serialization
+    and cross-process transport need.
+    """
+    from repro.core.tracing import ReplayGraph, replay_into
+    from repro.graph.function import GraphFunction
+
+    graph = ReplayGraph(name=f"{fn.name}_defused")
+    new_inputs, _, new_outputs = replay_into(fn, graph)
+    return GraphFunction(
+        name=fn.name, graph=graph, inputs=new_inputs, outputs=new_outputs
+    )

@@ -243,9 +243,13 @@ class Graph:
         self.nodes.append(node)
         if op_name == "EagerPyFunc":
             self.contains_py_func = True
-        nested_fn = attrs.get("f")
-        if nested_fn is not None and getattr(nested_fn, "contains_py_func", False):
-            self.contains_py_func = True
+        # Propagate the py_func taint from *any* nested function attr —
+        # calls store theirs under "f", control flow under "true_fn" /
+        # "false_fn" / "cond_fn" / "body_fn".
+        for attr_value in attrs.values():
+            if getattr(attr_value, "contains_py_func", False):
+                self.contains_py_func = True
+                break
         self._propagate_constants(node, op_def)
         return node.outputs
 

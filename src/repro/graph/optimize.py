@@ -10,6 +10,8 @@ passes over our graph IR:
 * ``arithmetic`` — algebraic identities (x*1, x+0, double negation,
   transpose/reshape collapsing).
 * ``cse`` — common-subexpression elimination for stateless ops.
+* ``fuse`` — elementwise-fusion (:mod:`repro.graph.fusion`), appended
+  to the default pipeline when ``context.graph_fusion`` is on.
 
 Passes rewrite the function's graph in place and report how much work
 they did; the ablation benchmark ``abl-opt`` measures their run-time
@@ -266,8 +268,12 @@ def dedup_reads(fn) -> int:
     ``ReadVariableOp`` is stateful (so generic CSE must skip it), but
     consecutive reads of the same handle separated by no assignment are
     guaranteed identical — the same read-dedup rewrite TensorFlow's
-    grappler applies inside a function body.  Ops that might mutate
-    arbitrary state (calls, control flow) invalidate everything.
+    grappler applies inside a function body.  Invalidation is
+    per-resource: calls and control flow thread every captured handle
+    through their explicit inputs, so their writes are confined to the
+    resource-dtype tensors they consume.  Only ``EagerPyFunc`` (whose
+    Python body can close over a variable directly) invalidates every
+    pending read.
     """
     graph: Graph = fn.graph
     current_read: dict[int, SymbolicTensor] = {}
@@ -293,10 +299,38 @@ def dedup_reads(fn) -> int:
         elif op in ("AssignVariableOp", "AssignAddVariableOp", "AssignSubVariableOp"):
             current_read.pop(id(node.inputs[0]), None)
         elif node.op_def.has_side_effects:
-            # A call / control-flow op may write any variable.
-            current_read.clear()
+            if _may_write_unknown_state(node):
+                current_read.clear()
+            else:
+                for t in node.inputs:
+                    if t.dtype == dtypes.resource:
+                        current_read.pop(id(t), None)
     _replace_uses(fn, {k: _final(replacements, k) for k in replacements})
     return merged
+
+
+def _may_write_unknown_state(node: Node) -> bool:
+    """Can a side-effecting op touch variables beyond its resource inputs?
+
+    ``EagerPyFunc`` runs arbitrary Python that may close over a variable
+    without threading its handle through the node's inputs; the same
+    goes for any call / control-flow op whose body contains a py_func.
+    Everything else reaches state only through explicit resource-dtype
+    inputs (captures become inputs during tracing).
+    """
+    if node.op_name == "EagerPyFunc":
+        return True
+    for v in node.attrs.values():
+        if getattr(v, "contains_py_func", False):
+            return True
+    return False
+
+
+def fuse(fn) -> int:
+    """Cluster elementwise chains into FusedElementwise nodes."""
+    from repro.graph import fusion
+
+    return fusion.fuse_function(fn)
 
 
 _PASSES = {
@@ -305,7 +339,22 @@ _PASSES = {
     "arithmetic": arithmetic_simplify,
     "cse": cse,
     "dedup_reads": dedup_reads,
+    "fuse": fuse,
 }
+
+
+def _default_passes() -> Sequence[str]:
+    """The default pipeline, with ``fuse`` appended when the knob is on.
+
+    Fusion runs last — after CSE has merged duplicates and the final
+    prune has dropped dead nodes — so regions are built over the graph
+    the executor will actually run.
+    """
+    from repro.runtime.context import context
+
+    if context.graph_fusion:
+        return DEFAULT_PASSES + ("fuse",)
+    return DEFAULT_PASSES
 
 
 def _topological_sort(fn) -> None:
@@ -341,7 +390,7 @@ def _topological_sort(fn) -> None:
 def optimize_function(fn, passes: Optional[Sequence[str]] = None) -> dict:
     """Run the pass pipeline on a GraphFunction; returns per-pass counts."""
     report: dict[str, int] = {}
-    for i, name in enumerate(passes if passes is not None else DEFAULT_PASSES):
+    for i, name in enumerate(passes if passes is not None else _default_passes()):
         count = _PASSES[name](fn)
         report[f"{i}:{name}"] = count
     _topological_sort(fn)

@@ -93,6 +93,13 @@ def graph_to_def(graph: Graph) -> dict:
 
 def function_to_def(fn) -> dict:
     """Serialize a GraphFunction (graph + signature) to a dict."""
+    from repro.graph import fusion
+
+    if fusion.has_fused_nodes(fn):
+        # Fused regions are precompiled closures — a scheduling artifact
+        # of this process.  Serialize the expanded primitive graph; the
+        # loading side re-fuses under its own knob.
+        fn = fusion.defuse_function(fn)
     graph_def = graph_to_def(fn.graph)
     names: dict[int, str] = {}
     for node in fn.graph.nodes:

@@ -22,6 +22,7 @@ from repro.tensor import TensorSpec
 
 __all__ = [
     "contiguous",
+    "inplace_kernel",
     "simple_kernel",
     "unary_infer",
     "elementwise_infer",
@@ -57,6 +58,23 @@ def simple_kernel(fn: Callable) -> Callable:
         return fn(*inputs)
 
     kernel.__name__ = f"kernel_{getattr(fn, '__name__', 'lambda')}"
+    return kernel
+
+
+def inplace_kernel(fn: Callable) -> Callable:
+    """Wrap a NumPy ufunc (accepting ``out=``) as an in-place kernel.
+
+    The executor's memory plan calls these with ``out`` set to a donated
+    input buffer whose refcount reached zero, so the op overwrites a
+    dying intermediate instead of allocating.  Only ufunc-backed
+    elementwise ops may use this wrapper — the ufunc contract guarantees
+    correct results when ``out`` aliases an input.
+    """
+
+    def kernel(inputs, attrs, device, out):
+        return fn(*inputs, out=out)
+
+    kernel.__name__ = f"inplace_{getattr(fn, '__name__', 'lambda')}"
     return kernel
 
 

@@ -26,7 +26,13 @@ from repro.ops.common import (
     simple_kernel,
     unary_infer,
 )
-from repro.ops.registry import register_gradient, register_kernel, register_op
+from repro.ops.common import inplace_kernel
+from repro.ops.registry import (
+    register_gradient,
+    register_inplace_kernel,
+    register_kernel,
+    register_op,
+)
 from repro.runtime.executor import execute
 from repro.tensor import TensorBase, TensorSpec, convert_to_tensor
 
@@ -428,6 +434,48 @@ register_kernel("LogicalAnd")(simple_kernel(np.logical_and))
 
 register_op("LogicalOr", infer_fn=elementwise_infer)
 register_kernel("LogicalOr")(simple_kernel(np.logical_or))
+
+
+# ---------------------------------------------------------------------------
+# In-place kernel variants (buffer donation)
+# ---------------------------------------------------------------------------
+# The executor's static memory plan may let one of these write its
+# result into an input buffer whose last consumer it is (refcount==1,
+# dtype/shape match).  Registration is restricted to ufunc-backed ops
+# whose normal kernels always allocate a fresh output: the registry
+# entry doubles as the planner's "output never aliases an input"
+# predicate, so view-returning ops (Identity, Reshape, ...) and custom
+# kernels stay out.
+
+for _name, _ufunc in [
+    ("Add", np.add),
+    ("Sub", np.subtract),
+    ("Mul", np.multiply),
+    ("RealDiv", np.true_divide),
+    ("Pow", np.power),
+    ("Neg", np.negative),
+    ("Abs", np.abs),
+    ("Exp", np.exp),
+    ("Log", np.log),
+    ("Log1p", np.log1p),
+    ("Sqrt", np.sqrt),
+    ("Square", np.square),
+    ("Sign", np.sign),
+    ("Floor", np.floor),
+    ("Ceil", np.ceil),
+    ("Sin", np.sin),
+    ("Cos", np.cos),
+    ("Tanh", np.tanh),
+    ("Maximum", np.maximum),
+    ("Minimum", np.minimum),
+]:
+    register_inplace_kernel(_name)(inplace_kernel(_ufunc))
+
+
+@register_inplace_kernel("Rsqrt")
+def _rsqrt_inplace(inputs, attrs, device, out):
+    np.sqrt(inputs[0], out=out)
+    return np.true_divide(1.0, out, out=out)
 
 
 # ---------------------------------------------------------------------------

@@ -18,7 +18,12 @@ from repro.framework import dtypes
 from repro.framework.errors import InvalidArgumentError, UnimplementedError
 from repro.framework.tensor_shape import TensorShape
 from repro.ops.common import constant_or_none, simple_kernel, unary_infer
-from repro.ops.registry import register_gradient, register_kernel, register_op
+from repro.ops.registry import (
+    register_gradient,
+    register_inplace_kernel,
+    register_kernel,
+    register_op,
+)
 from repro.tensor import TensorBase, TensorSpec, convert_to_tensor
 
 __all__ = [
@@ -56,6 +61,9 @@ def _convert(x, dtype=None):
 
 register_op("Relu", infer_fn=unary_infer)
 register_kernel("Relu")(simple_kernel(lambda x: np.maximum(x, 0)))
+register_inplace_kernel("Relu")(
+    lambda inputs, attrs, device, out: np.maximum(inputs[0], 0, out=out)
+)
 
 
 @register_gradient("Relu")

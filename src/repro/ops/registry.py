@@ -27,6 +27,7 @@ from typing import Callable, Optional, Sequence
 from repro.framework.errors import AlreadyExistsError, NotFoundError
 
 __all__ = [
+    "ELEMENTWISE_OPS",
     "OpDef",
     "register_op",
     "get_op_def",
@@ -38,8 +39,29 @@ __all__ = [
     "register_gradient",
     "get_gradient_function",
     "has_gradient",
+    "register_inplace_kernel",
+    "get_inplace_kernel",
+    "has_inplace_kernel",
     "list_ops",
 ]
+
+# Operations that compute one output element per input element position
+# (with NumPy broadcasting): ~1 FLOP per element, no reductions, no data
+# movement.  This is the shared candidate set for elementwise fusion —
+# both the graph-level ``fuse`` pass (:mod:`repro.graph.fusion`) and the
+# XLA-sim fusion heuristics (:mod:`repro.xla.fusion`) consume it.
+ELEMENTWISE_OPS = frozenset(
+    {
+        "Add", "Sub", "Mul", "RealDiv", "FloorDiv", "Mod", "Pow", "Neg",
+        "Abs", "Reciprocal", "Exp", "Log", "Log1p", "Sqrt", "Rsqrt",
+        "Square", "SquaredDifference", "Sign", "Floor", "Ceil", "Round",
+        "Sin", "Cos", "Tanh", "Sigmoid", "Erf", "Maximum", "Minimum",
+        "Less", "LessEqual", "Greater", "GreaterEqual", "Equal",
+        "NotEqual", "LogicalAnd", "LogicalOr", "LogicalNot", "Cast",
+        "ClipByValue", "Relu", "LeakyRelu", "Softplus", "Elu", "Select",
+        "Identity", "StopGradient", "ZerosLike", "OnesLike",
+    }
+)
 
 # infer_fn(input_specs: list[TensorSpec], attrs: dict) -> list[TensorSpec]
 InferFn = Callable[[list, dict], list]
@@ -187,6 +209,39 @@ def resolve_kernel(
         )
     _RESOLUTION_CACHE[key] = kernel
     return kernel
+
+
+# In-place kernel variants, keyed by op name.  An in-place kernel has
+# the signature ``fn(inputs, attrs, device, out) -> np.ndarray`` and
+# writes its result into ``out`` (one of the input buffers, donated by
+# the executor's memory plan when its refcount hits zero).  Only ops
+# whose normal kernels always allocate a *fresh* output may register
+# one — the presence of an entry doubles as the planner's "this op's
+# output never aliases an input" predicate.
+_INPLACE_KERNELS: dict[str, KernelFn] = {}
+
+
+def register_inplace_kernel(op_name: str):
+    """Decorator registering an in-place (buffer-donating) kernel variant."""
+
+    def decorator(fn: KernelFn) -> KernelFn:
+        if op_name in _INPLACE_KERNELS:
+            raise AlreadyExistsError(
+                f"In-place kernel already registered for {op_name!r}"
+            )
+        _INPLACE_KERNELS[op_name] = fn
+        return fn
+
+    return decorator
+
+
+def get_inplace_kernel(op_name: str) -> Optional[KernelFn]:
+    """The in-place kernel variant for ``op_name``, or None."""
+    return _INPLACE_KERNELS.get(op_name)
+
+
+def has_inplace_kernel(op_name: str) -> bool:
+    return op_name in _INPLACE_KERNELS
 
 
 def register_gradient(op_name: str):

@@ -79,6 +79,7 @@ class Context:
         self._relax_shapes = self._relax_shapes_from_env()
         self._relax_retraces = self._relax_retraces_from_env()
         self._trace_cache_size = self._trace_cache_size_from_env()
+        self._graph_fusion = self._graph_fusion_from_env()
         self._initialize_local_devices(num_gpus=num_gpus, num_tpus=num_tpus)
 
     @staticmethod
@@ -131,6 +132,11 @@ class Context:
                 f"REPRO_RELAX_RETRACES must be >= 1, got {value}"
             )
         return value
+
+    @staticmethod
+    def _graph_fusion_from_env() -> bool:
+        raw = os.environ.get("REPRO_GRAPH_FUSION", "0").strip().lower()
+        return raw in ("1", "true", "yes", "on")
 
     @staticmethod
     def _trace_cache_size_from_env() -> int:
@@ -229,6 +235,25 @@ class Context:
                 f"relax_retraces must be >= 1, got {value}"
             )
         self._relax_retraces = value
+
+    @property
+    def graph_fusion(self) -> bool:
+        """Whether the default graph pipeline fuses elementwise regions.
+
+        When on, the optimizer's ``fuse`` pass collapses chains/DAGs of
+        elementwise ops into single ``FusedElementwise`` nodes evaluated
+        by one precompiled kernel dispatch, and the graph executor's
+        static memory plan additionally enables in-place buffer donation
+        (an op may write into a dying input buffer).  Initialised from
+        ``REPRO_GRAPH_FUSION`` (default off).  Applies to traces and
+        execution plans built afterwards; already-planned functions keep
+        the plan they were built with.
+        """
+        return self._graph_fusion
+
+    @graph_fusion.setter
+    def graph_fusion(self, value: bool) -> None:
+        self._graph_fusion = bool(value)
 
     @property
     def trace_cache_size(self) -> int:

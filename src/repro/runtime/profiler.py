@@ -46,6 +46,9 @@ class _ProfilerInterceptor(dispatch.OpInterceptor):
         prof = active
         if prof is not None:
             prof.add(op_name, time.perf_counter() - token)
+            if op_name == "FusedElementwise":
+                region = attrs.get("region")
+                prof.add_fused(getattr(region, "size", 0))
 
     def on_retry(self, op_name, attrs, inputs, device, attempt, exc) -> None:
         prof = active
@@ -75,6 +78,9 @@ class Profile:
         self.ops: dict[str, OpStats] = {}
         # Remote-op retry counts by op name (fault-tolerance layer).
         self.retries: dict[str, int] = {}
+        # Elementwise primitives covered by FusedElementwise dispatches
+        # (each fused kernel executes region.size staged ops in one call).
+        self.fused_covered_ops = 0
         self._entered = 0.0
         # Async eager mode runs on_complete on stream worker threads, so
         # several threads can add samples concurrently.
@@ -118,6 +124,10 @@ class Profile:
         with self._stats_lock:
             self.retries[op_name] = self.retries.get(op_name, 0) + 1
 
+    def add_fused(self, covered: int) -> None:
+        with self._stats_lock:
+            self.fused_covered_ops += covered
+
     # -- reporting ----------------------------------------------------------
     @property
     def total_op_seconds(self) -> float:
@@ -147,6 +157,14 @@ class Profile:
             f"{'total':<28}{self.total_ops:>8}"
             f"{self.total_op_seconds * 1e3:>12.2f}"
         )
+        fused = self.ops.get("FusedElementwise")
+        if fused is not None:
+            covered = self.fused_covered_ops
+            avg = covered / fused.count if fused.count else 0.0
+            lines.append(
+                f"fused kernels: {fused.count} dispatches covering "
+                f"{covered} elementwise ops ({avg:.1f} ops/dispatch)"
+            )
         if self.retries:
             total_retries = sum(self.retries.values())
             detail = ", ".join(

@@ -32,19 +32,9 @@ from repro.graph.graph import Node, SymbolicTensor
 __all__ = ["HloInstruction", "HloComputation", "lower"]
 
 # Opcodes whose cost is ~1 FLOP per output element and which are
-# candidates for elementwise fusion.
-ELEMENTWISE_OPCODES = frozenset(
-    {
-        "Add", "Sub", "Mul", "RealDiv", "FloorDiv", "Mod", "Pow", "Neg",
-        "Abs", "Reciprocal", "Exp", "Log", "Log1p", "Sqrt", "Rsqrt",
-        "Square", "SquaredDifference", "Sign", "Floor", "Ceil", "Round",
-        "Sin", "Cos", "Tanh", "Sigmoid", "Erf", "Maximum", "Minimum",
-        "Less", "LessEqual", "Greater", "GreaterEqual", "Equal",
-        "NotEqual", "LogicalAnd", "LogicalOr", "LogicalNot", "Cast",
-        "ClipByValue", "Relu", "LeakyRelu", "Softplus", "Elu", "Select",
-        "Identity", "StopGradient", "ZerosLike", "OnesLike",
-    }
-)
+# candidates for elementwise fusion.  The set is shared with the
+# graph-level fusion pass; the registry hosts the single definition.
+ELEMENTWISE_OPCODES = registry.ELEMENTWISE_OPS
 
 # Ops the TPU backend refuses to compile (host-only semantics).
 UNCOMPILABLE = frozenset({"EagerPyFunc"})
@@ -141,6 +131,13 @@ def estimate_cost(node_op: str, input_specs: Sequence[TensorSpec],
 
 def lower(fn: GraphFunction, name: Optional[str] = None) -> HloComputation:
     """Lower a graph function into an HLO computation."""
+    from repro.graph import fusion as graph_fusion
+
+    if graph_fusion.has_fused_nodes(fn):
+        # Interpreter-level fused regions are opaque closures; expand
+        # them back to primitives so the XLA-sim's own fusion pass (and
+        # its cost model) can see the real ops.
+        fn = graph_fusion.defuse_function(fn)
     instructions: list[HloInstruction] = []
     slot_of: dict[int, tuple[int, int]] = {}  # id(symbolic tensor) -> (instr, slot)
 

@@ -55,6 +55,7 @@ def _reset_context_knobs():
     context._relax_shapes = Context._relax_shapes_from_env()
     context._relax_retraces = Context._relax_retraces_from_env()
     context._trace_cache_size = Context._trace_cache_size_from_env()
+    context._graph_fusion = Context._graph_fusion_from_env()
     # Interceptors registered during the test and never unregistered.
     for it in tuple(dispatch.core._interceptors):
         if it not in interceptors_before:

@@ -241,6 +241,100 @@ class TestLRUCache:
         assert stats["size"] == 2
 
 
+class TestFastCallPath:
+    """Level 0 of the cache: steady-state all-tensor positional calls
+    skip flatten/bind/key construction entirely.  The route map points
+    into the exact/relaxed levels, so eviction and widening stay
+    correct — a dangling route falls back to the slow path."""
+
+    def test_repeat_call_served_without_rekeying(self):
+        @repro.function
+        def f(a, b):
+            return a * b + 1.0
+
+        x, y = repro.constant([1.0, 2.0]), repro.constant([3.0, 4.0])
+        f(x, y)
+        assert f._fast_keys  # the route was recorded
+        before = f.cache_stats()
+        out = f(x, y)
+        after = f.cache_stats()
+        assert after["hits"] == before["hits"] + 1
+        assert after["misses"] == before["misses"]
+        np.testing.assert_allclose(out.numpy(), [4.0, 9.0])
+
+    def test_kwargs_and_positional_share_one_trace(self):
+        @repro.function
+        def f(a, b):
+            return a - b
+
+        x, y = repro.constant(5.0), repro.constant(2.0)
+        assert float(f(x, y)) == 3.0
+        assert float(f(b=y, a=x)) == 3.0
+        assert f.trace_count == 1
+
+    def test_variable_argument_bypasses_fast_path(self):
+        v = repro.Variable([1.0, 2.0])
+
+        @repro.function
+        def f(var, x):
+            return var * x
+
+        x = repro.constant([3.0, 3.0])
+        f(v, x)
+        f(v, x)
+        assert not f._fast_keys  # no route for variable args
+        assert f.cache_stats()["hits"] == 1  # still serves level 1
+        np.testing.assert_allclose(f(v, x).numpy(), [3.0, 6.0])
+
+    def test_eviction_invalidates_route(self):
+        context.trace_cache_size = 1
+
+        @repro.function(experimental_relax_shapes=False)
+        def f(x):
+            return x + 1.0
+
+        f(_batch(1))
+        f(_batch(1))  # primes the fast route
+        f(_batch(2))  # evicts the batch-1 trace
+        traces = f.trace_count
+        out = f(_batch(1))  # dangling route: must retrace, not crash
+        assert f.trace_count == traces + 1
+        np.testing.assert_allclose(
+            out.numpy(), np.arange(4, dtype=np.float32).reshape(1, 4) + 1.0
+        )
+
+    def test_fast_path_serves_relaxed_traces(self):
+        @repro.function(experimental_relax_shapes=True)
+        def f(x):
+            return repro.reduce_sum(x * 2.0)
+
+        for b in range(1, 6):
+            f(_batch(b))
+        traces = f.trace_count
+        hits = f.cache_stats()["hits"]
+        # Repeats of an already-routed shape hit level 0 and still land
+        # on the symbolic trace.
+        for _ in range(3):
+            assert float(f(_batch(3))) == pytest.approx(
+                float(np.sum(np.arange(12) * 2.0))
+            )
+        assert f.trace_count == traces
+        assert f.cache_stats()["hits"] == hits + 3
+
+    def test_gradient_tape_records_through_fast_path(self):
+        @repro.function
+        def f(x):
+            return repro.reduce_sum(repro.square(x))
+
+        x = repro.constant([1.5, -2.0])
+        f(x)  # primes the route
+        with repro.GradientTape() as tape:
+            tape.watch(x)
+            y = f(x)
+        (g,) = tape.gradient(y, [x])
+        np.testing.assert_allclose(g.numpy(), [3.0, -4.0], rtol=1e-6)
+
+
 class TestRetraceWarning:
     def test_warns_on_churn_and_names_the_leaf(self):
         @repro.function(experimental_relax_shapes=False)

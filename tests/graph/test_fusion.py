@@ -1,0 +1,347 @@
+"""Graph-native elementwise fusion (the ``fuse`` pass).
+
+Region *legality* is the point of this file: what may join a fused
+region (elementwise chains and DAGs, broadcasts, symbolic dims) and
+what must stay out or split it (stateful ops, device pins,
+multi-consumer escapes, paths that leave the region and come back).
+Value correctness of fused execution at scale is covered by the parity
+harness's fused axis; here the graphs are small enough to assert on
+structure.
+"""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.graph import fusion, optimize
+from repro.graph.function import GraphFunction, placeholder
+from repro.graph.graph import Graph
+from repro.runtime.context import context
+
+
+def _fn(build, in_specs=((repro.float32, [2]),), name="t"):
+    g = Graph(name)
+    phs = [placeholder(g, dt, shape) for dt, shape in in_specs]
+    with g.as_default():
+        outputs = build(*phs)
+    if not isinstance(outputs, (list, tuple)):
+        outputs = [outputs]
+    return GraphFunction(name, g, phs, list(outputs))
+
+
+def _fused_nodes(fn):
+    return fn.graph.ops_by_type(fusion.FUSED_OP)
+
+
+class TestRegionFormation:
+    def test_chain_fuses_into_one_node(self):
+        def build(x):
+            return repro.tanh(x * 2.0 + 1.0)
+
+        fn = _fn(build)
+        assert fusion.fuse_function(fn) == 1
+        (fused,) = _fused_nodes(fn)
+        assert fused.attrs["region"].op_names == ("Mul", "Add", "Tanh")
+        (out,) = fn.run([repro.constant([0.0, 1.0])])
+        np.testing.assert_allclose(
+            out.numpy(), np.tanh([1.0, 3.0]), rtol=1e-6
+        )
+
+    def test_diamond_dag_fuses_whole(self):
+        """A DAG merge node unions the branch clusters (not just one)."""
+
+        def build(x):
+            a = repro.exp(x)
+            b = repro.tanh(x)
+            return a * b + a
+
+        fn = _fn(build)
+        assert fusion.fuse_function(fn) == 1
+        (fused,) = _fused_nodes(fn)
+        assert fused.attrs["region"].size == 4
+        (out,) = fn.run([repro.constant([0.5, -0.5])])
+        e, t = np.exp([0.5, -0.5]), np.tanh([0.5, -0.5])
+        np.testing.assert_allclose(out.numpy(), e * t + e, rtol=1e-6)
+
+    def test_single_op_not_fused(self):
+        fn = _fn(lambda x: repro.exp(x))
+        assert fusion.fuse_function(fn) == 0
+        assert _fused_nodes(fn) == []
+
+    def test_broadcast_operands_fuse(self):
+        """Scalar- and row-broadcast variants are legal members."""
+
+        def build(x, b):
+            return repro.tanh(x * 2.0 + b) * x
+
+        fn = _fn(build, in_specs=((repro.float32, [2, 3]), (repro.float32, [3])))
+        assert fusion.fuse_function(fn) == 1
+        x = np.arange(6, dtype=np.float32).reshape(2, 3)
+        b = np.float32([1.0, -1.0, 0.5])
+        (out,) = fn.run([repro.constant(x), repro.constant(b)])
+        np.testing.assert_allclose(out.numpy(), np.tanh(x * 2 + b) * x, rtol=1e-6)
+
+    def test_fusion_stats_recorded(self):
+        def build(x):
+            return repro.sqrt(repro.square(x) + 1e-4)
+
+        fn = _fn(build)
+        fusion.fuse_function(fn)
+        stats = fn._fusion_stats
+        assert stats["nodes_before"] > stats["nodes_after"]
+        assert stats["regions"] == [3]
+        assert stats["fused_ops"] == 3
+
+
+class TestRegionBoundaries:
+    def test_multi_consumer_value_escapes(self):
+        """An intermediate also consumed outside the region must become
+        a region output, not a buried temporary."""
+
+        def build(x):
+            h = repro.exp(x)  # consumed by the region AND by Sum
+            y = repro.tanh(h * 2.0)
+            return y + 0.0 * y, repro.reduce_sum(h)
+
+        fn = _fn(build)
+        assert fusion.fuse_function(fn) >= 1
+        x = np.float32([0.3, -0.7])
+        out, total = fn.run([repro.constant(x)])
+        h = np.exp(x)
+        np.testing.assert_allclose(out.numpy(), np.tanh(h * 2.0), rtol=1e-6)
+        np.testing.assert_allclose(total.numpy(), h.sum(), rtol=1e-6)
+
+    def test_stateful_ops_are_barriers(self):
+        """Variable reads/writes never join a region, and a write
+        between elementwise ops keeps its program-order position."""
+        v = repro.Variable([1.0, 1.0])
+
+        def build(x):
+            a = v.read_value() * x
+            v.assign_add([1.0, 1.0])
+            b = v.read_value() * x
+            return a + b
+
+        fn = _fn(build)
+        fusion.fuse_function(fn)
+        for node in _fused_nodes(fn):
+            assert all(
+                op not in ("ReadVariableOp", "AssignAddVariableOp")
+                for op in node.attrs["region"].op_names
+            )
+        (out,) = fn.run([repro.constant([2.0, 3.0])])
+        # a uses v==1, b uses v==2 (the write happened in between).
+        np.testing.assert_allclose(out.numpy(), [6.0, 9.0])
+
+    def test_path_through_nonfusable_op_splits_region(self):
+        """exp -> Sum -> mul may not contract into one region: the path
+        through Sum would become a cycle."""
+
+        def build(x):
+            h = repro.exp(x) * 2.0
+            s = repro.reduce_sum(h)
+            return h * s + 1.0
+
+        fn = _fn(build)
+        fusion.fuse_function(fn)
+        for node in _fused_nodes(fn):
+            names = node.attrs["region"].op_names
+            # The pre-Sum and post-Sum ops must be in different regions.
+            assert not ("Exp" in names and "Add" in names)
+        x = np.float32([0.1, 0.9])
+        (out,) = fn.run([repro.constant(x)])
+        h = np.exp(x) * 2.0
+        np.testing.assert_allclose(out.numpy(), h * h.sum() + 1.0, rtol=1e-6)
+
+    def test_device_pinned_node_not_fused(self):
+        def build(x):
+            with repro.device("/gpu:0"):
+                a = repro.exp(x)
+            return repro.tanh(a * 2.0)
+
+        fn = _fn(build)
+        fusion.fuse_function(fn)
+        for node in _fused_nodes(fn):
+            assert "Exp" not in node.attrs["region"].op_names
+
+
+class TestSymbolicDims:
+    def test_symbolic_region_serves_multiple_shapes(self):
+        def build(x):
+            return repro.sigmoid(x) * repro.tanh(x) + 1.0
+
+        fn = _fn(build, in_specs=((repro.float32, [None]),))
+        assert fusion.fuse_function(fn) == 1
+        (fused,) = _fused_nodes(fn)
+        region = fused.attrs["region"]
+        # Static in-place planning needs static shapes.
+        assert region.donated_steps == 0
+        assert region.peak_is_lower_bound
+        for n in (3, 7):
+            x = np.random.default_rng(n).normal(size=n).astype(np.float32)
+            (out,) = fn.run([repro.constant(x)])
+            expect = 1.0 / (1.0 + np.exp(-x)) * np.tanh(x) + 1.0
+            np.testing.assert_allclose(out.numpy(), expect, rtol=1e-5)
+
+    def test_fused_infer_matches_member_inference(self):
+        def build(x, b):
+            return repro.tanh(x + b) * x
+
+        fn = _fn(
+            build, in_specs=((repro.float32, [None, 4]), (repro.float32, [4]))
+        )
+        fusion.fuse_function(fn)
+        (fused,) = _fused_nodes(fn)
+        assert fused.outputs[0].shape.as_list() == [None, 4]
+        assert fused.outputs[0].dtype == repro.float32
+
+
+class TestInPlaceInsideRegion:
+    def test_chain_donates_dying_intermediates(self):
+        def build(x):
+            y = x * 2.0
+            for _ in range(4):
+                y = repro.tanh(y + 0.1)
+            return y
+
+        fn = _fn(build, in_specs=((repro.float32, [8]),))
+        fusion.fuse_function(fn)
+        (fused,) = _fused_nodes(fn)
+        region = fused.attrs["region"]
+        assert region.donated_steps >= 4
+        # Donation never touches region *inputs*: the fed tensor
+        # survives execution bit-for-bit.
+        x = repro.constant(np.ones(8, np.float32))
+        fn.run([x])
+        np.testing.assert_array_equal(x.numpy(), np.ones(8, np.float32))
+
+    def test_alias_ops_pin_their_buffer(self):
+        """Identity returns a view; its root buffer must not be donated
+        out from under the other alias."""
+
+        def build(x):
+            h = repro.exp(x)
+            i = repro.identity(h)
+            return repro.tanh(h + 1.0) * i
+
+        fn = _fn(build)
+        fusion.fuse_function(fn)
+        x = np.float32([0.2, -0.4])
+        (out,) = fn.run([repro.constant(x)])
+        h = np.exp(x)
+        np.testing.assert_allclose(out.numpy(), np.tanh(h + 1.0) * h, rtol=1e-6)
+
+
+class TestCompiledRegions:
+    """Regions specialize their step loop into generated code at build
+    time; the interpreted loop stays behind as the fallback and the two
+    must agree bit-for-bit."""
+
+    def _region(self):
+        def build(x):
+            y = x * 2.0
+            for _ in range(3):
+                y = repro.tanh(y + 0.1)
+            return y
+
+        fn = _fn(build, in_specs=((repro.float32, [16]),))
+        fusion.fuse_function(fn)
+        (fused,) = _fused_nodes(fn)
+        return fused.attrs["region"]
+
+    def test_region_compiles(self):
+        assert self._region()._compiled is not None
+
+    def test_compiled_matches_interpreter(self):
+        from repro.runtime.context import context as ctx
+
+        region = self._region()
+        device = ctx.cpu_device()
+        rng = np.random.default_rng(3)
+        # Exact external order doesn't matter for the equivalence check:
+        # both paths see the same slot assignment.
+        ins = [rng.normal(size=16).astype(np.float32), np.float32(2.0), np.float32(0.1)]
+        ins = ins[: region.num_inputs]
+        assert len(ins) == region.num_inputs
+        compiled = region([a.copy() for a in ins], device)
+        region._compiled = None
+        interpreted = region([a.copy() for a in ins], device)
+        np.testing.assert_array_equal(
+            np.asarray(compiled), np.asarray(interpreted)
+        )
+
+
+class TestDefuse:
+    def test_roundtrip_restores_primitives(self):
+        def build(x):
+            return repro.tanh(x * 2.0 + 1.0)
+
+        fn = _fn(build)
+        fusion.fuse_function(fn)
+        assert fusion.has_fused_nodes(fn)
+        plain = fusion.defuse_function(fn)
+        assert not fusion.has_fused_nodes(plain)
+        assert len(plain.graph.ops_by_type("Tanh")) == 1
+        x = repro.constant([0.0, 1.0])
+        np.testing.assert_allclose(
+            plain.run([x])[0].numpy(), fn.run([x])[0].numpy(), rtol=1e-6
+        )
+
+    def test_serialization_defuses(self):
+        def build(x):
+            return repro.exp(x) * repro.tanh(x)
+
+        fn = _fn(build)
+        fusion.fuse_function(fn)
+        graph_def = fn.definition()
+        ops = {n["op"] for n in graph_def["graph"]["nodes"]}
+        assert fusion.FUSED_OP not in ops
+        assert {"Exp", "Tanh", "Mul"} <= ops
+
+
+class TestPipelineIntegration:
+    def test_fuse_runs_in_default_passes_under_knob(self):
+        def build(x):
+            return repro.tanh(x * 2.0 + 1.0)
+
+        previous = context.graph_fusion
+        context.graph_fusion = True
+        try:
+            fn = _fn(build)
+            optimize.optimize_function(fn)
+            assert fusion.has_fused_nodes(fn)
+        finally:
+            context.graph_fusion = previous
+
+    def test_fuse_not_in_default_passes_when_off(self):
+        def build(x):
+            return repro.tanh(x * 2.0 + 1.0)
+
+        previous = context.graph_fusion
+        context.graph_fusion = False
+        try:
+            fn = _fn(build)
+            optimize.optimize_function(fn)
+            assert not fusion.has_fused_nodes(fn)
+        finally:
+            context.graph_fusion = previous
+
+    def test_gradient_through_fused_function(self):
+        previous = context.graph_fusion
+        context.graph_fusion = True
+        try:
+
+            @repro.function
+            def f(x):
+                return repro.reduce_sum(repro.tanh(x) * x + repro.exp(x))
+
+            x = repro.constant(np.float64([0.3, -1.1, 0.7]))
+            with repro.GradientTape() as tape:
+                tape.watch(x)
+                y = f(x)
+            (g,) = tape.gradient(y, [x])
+            xn = x.numpy()
+            expect = np.tanh(xn) + xn / np.cosh(xn) ** 2 + np.exp(xn)
+            np.testing.assert_allclose(g.numpy(), expect, rtol=1e-9)
+        finally:
+            context.graph_fusion = previous

@@ -183,6 +183,44 @@ class TestDedupReads:
         assert optimize.dedup_reads(fn) == 0
         assert len(fn.graph.ops_by_type("ReadVariableOp")) == 2
 
+    def test_unrelated_write_does_not_invalidate(self):
+        """Side-effect ordering is per-resource: a write to one variable
+        must not split reads of a *different* variable (it needlessly
+        breaks up fusion regions otherwise)."""
+        v = repro.Variable(1.0)
+        w = repro.Variable(10.0)
+
+        def build(x):
+            a = v.read_value()
+            w.assign_add(1.0)
+            b = v.read_value()
+            return a + b + x
+
+        fn = _fn(build, in_specs=((repro.float32, []),))
+        assert optimize.dedup_reads(fn) == 1
+        optimize.prune(fn)
+        assert len(fn.graph.ops_by_type("ReadVariableOp")) == 1
+        assert len(fn.graph.ops_by_type("AssignAddVariableOp")) == 1
+        x = repro.constant(0.0)
+        (out,) = fn.run([x])
+        assert float(out.numpy()) == 2.0
+        assert float(w.read_value()) == 11.0
+
+    def test_py_func_still_invalidates_all(self):
+        """An opaque py_func may close over any variable, so it remains
+        a full barrier for read dedup."""
+        v = repro.Variable(1.0)
+
+        def build(x):
+            a = v.read_value()
+            y = repro.py_func(lambda t: t.numpy() * 1.0, [x], Tout=repro.float32)
+            b = v.read_value()
+            return a + b + y
+
+        fn = _fn(build, in_specs=((repro.float32, []),))
+        assert optimize.dedup_reads(fn) == 0
+        assert len(fn.graph.ops_by_type("ReadVariableOp")) == 2
+
 
 class TestPipeline:
     def test_default_pipeline_preserves_semantics(self):

@@ -29,9 +29,11 @@ __all__ = [
     "CORPUS",
     "MODES",
     "Program",
+    "assert_fused_parity",
     "assert_parity",
     "assert_relaxed_parity",
     "run_program",
+    "run_program_fused",
     "run_program_relaxed",
 ]
 
@@ -126,6 +128,56 @@ def assert_parity(program: Program, dtype: str) -> None:
                     err_msg=f"{program.name}: {mode} gradient {i} diverged "
                     f"from sync eager",
                 )
+
+
+def run_program_fused(program: Program, dtype: str):
+    """Run ``program`` staged with graph fusion + memory planning on.
+
+    Forces ``context.graph_fusion`` for the duration, so the trace is
+    optimized by the ``fuse`` pass and executed through the planner's
+    in-place donation path — the configuration the fused-mode parity
+    axis certifies against sync eager.
+    """
+    from repro.runtime.context import context
+
+    previous = context.graph_fusion
+    context.graph_fusion = True
+    try:
+        return run_program(program, "staged", dtype)
+    finally:
+        context.graph_fusion = previous
+
+
+def assert_fused_parity(program: Program, dtype: str) -> None:
+    """Assert fused staged execution matches sync eager (outputs + grads).
+
+    Fusion is a scheduling rewrite: collapsing an elementwise region
+    into one kernel dispatch must not change a single value, including
+    through the staged backward function (which is fused independently).
+    """
+    tol = _TOLERANCES[dtype]
+    ref_out, ref_grads = run_program(program, "sync", dtype)
+    out, grads = run_program_fused(program, dtype)
+    np.testing.assert_allclose(
+        out,
+        ref_out,
+        **tol,
+        err_msg=f"{program.name}: fused staged output diverged from sync eager",
+    )
+    assert len(grads) == len(ref_grads)
+    for i, (g, ref) in enumerate(zip(grads, ref_grads)):
+        assert (g is None) == (ref is None), (
+            f"{program.name}: fused staged gradient {i} connectivity differs "
+            f"from sync eager"
+        )
+        if ref is not None:
+            np.testing.assert_allclose(
+                g,
+                ref,
+                **tol,
+                err_msg=f"{program.name}: fused staged gradient {i} diverged "
+                f"from sync eager",
+            )
 
 
 def run_program_relaxed(program: Program, dtype: str):

@@ -15,6 +15,7 @@ from repro.tensor import AsyncTensor
 from tests.harness.parity import (
     CORPUS,
     MODES,
+    assert_fused_parity,
     assert_parity,
     assert_relaxed_parity,
     run_program,
@@ -36,6 +37,16 @@ def test_modes_agree(program, dtype):
     if dtype not in program.dtypes:
         pytest.skip(f"{program.name} not defined for {dtype}")
     assert_parity(program, dtype)
+
+
+@pytest.mark.parametrize("dtype", ["float32", "float64"])
+@pytest.mark.parametrize("program", CORPUS, ids=_IDS)
+def test_fused_staging_agrees(program, dtype):
+    """Graph fusion + memory planning is semantics-preserving: every
+    program's outputs and input gradients must match sync eager."""
+    if dtype not in program.dtypes:
+        pytest.skip(f"{program.name} not defined for {dtype}")
+    assert_fused_parity(program, dtype)
 
 
 def test_relaxable_subset_is_large_enough():
