@@ -124,12 +124,13 @@ def imperative_grad(
             f"unconnected_gradients must be 'none' or 'zero', got "
             f"{unconnected_gradients!r}"
         )
-    # Async eager mode: the recorded forward ops may still be in flight.
-    # Replay must not start until they (and any deferred error) have
-    # landed — gradient computation is a synchronization point.
+    # Async/lazy eager modes: the recorded forward ops may still be in
+    # flight (or merely recorded).  Replay must not start until they
+    # (and any deferred error) have landed — gradient computation is a
+    # synchronization point.
     from repro.runtime.context import context as _runtime_context
 
-    if _runtime_context.async_eager and _runtime_context.executing_eagerly():
+    if _runtime_context.executor_mode != "sync" and _runtime_context.executing_eagerly():
         _runtime_context.sync()
     acc = _GradAccumulator()
     for target, seed in zip(targets, output_gradients):

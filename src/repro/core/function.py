@@ -60,7 +60,110 @@ from repro.core.pipeline import CompilationPipeline
 from repro.core.variables import Variable, variable_creation_observer
 from repro.graph.function import GraphFunction
 
-__all__ = ["function", "Function", "ConcreteFunction", "RetraceWarning"]
+__all__ = [
+    "function",
+    "Function",
+    "ConcreteFunction",
+    "RetraceWarning",
+    "SegmentCache",
+]
+
+
+class SegmentCache:
+    """Two-level cache of compiled lazy-trace segments.
+
+    The lazy executor (:mod:`repro.runtime.lazy`) hashes every flushed
+    segment — op list, attributes, dataflow references, fetch mask, and
+    external-input signature — and looks the artifact up here, reusing
+    the ``Function`` trace cache's two-level policy:
+
+    * **Exact level**: ``(structural key, concrete external shapes) →
+      artifact``, LRU-ordered and bounded by
+      ``context.trace_cache_size``; evicted artifacts have ``release()``
+      called so their execution plans are dropped.
+    * **Relaxed level**: one shape-relaxed artifact per structural key,
+      installed after ``context.relax_retraces`` shape-only misses of
+      the same structure.  Execution plans are shape-polymorphic, so a
+      single relaxed artifact (placeholder dims generalized to ``None``)
+      serves every concrete shape the structure admits — the
+      steady-state training loop with varying batch sizes compiles
+      once.
+
+    Artifacts are anything with a ``release()`` method; the cache never
+    inspects them.  All methods are thread-safe.
+    """
+
+    def __init__(self) -> None:
+        self._exact: collections.OrderedDict = collections.OrderedDict()
+        self._relaxed: dict = {}
+        self._shape_misses: dict = {}
+        self._lock = threading.Lock()
+        self._stats = {
+            "hits": 0,
+            "misses": 0,
+            "evictions": 0,
+            "relaxations": 0,
+        }
+
+    def lookup(self, structural_key, shapes) -> tuple:
+        """Return ``(artifact or None, build_relaxed)``.
+
+        ``build_relaxed`` asks the caller to compile the miss with
+        relaxed (``None``-dimension) external specs and insert it via
+        ``insert(..., relaxed=True)``: the structure has now missed on
+        shapes alone ``context.relax_retraces`` times.
+        """
+        with self._lock:
+            artifact = self._exact.get((structural_key, shapes))
+            if artifact is not None:
+                self._exact.move_to_end((structural_key, shapes))
+                self._stats["hits"] += 1
+                return artifact, False
+            artifact = self._relaxed.get(structural_key)
+            if artifact is not None:
+                self._stats["hits"] += 1
+                return artifact, False
+            self._stats["misses"] += 1
+            seen = self._shape_misses.get(structural_key, 0) + 1
+            self._shape_misses[structural_key] = seen
+            return None, seen > context.relax_retraces
+
+    def insert(self, structural_key, shapes, artifact, relaxed: bool = False) -> None:
+        """Add a compiled artifact, evicting LRU entries past the bound."""
+        with self._lock:
+            if relaxed:
+                old = self._relaxed.pop(structural_key, None)
+                if old is not None:
+                    old.release()
+                self._relaxed[structural_key] = artifact
+                self._shape_misses.pop(structural_key, None)
+                self._stats["relaxations"] += 1
+                return
+            self._exact[(structural_key, shapes)] = artifact
+            limit = context.trace_cache_size
+            while len(self._exact) > limit:
+                _, evicted = self._exact.popitem(last=False)
+                evicted.release()
+                self._stats["evictions"] += 1
+
+    def clear(self) -> None:
+        with self._lock:
+            for artifact in self._exact.values():
+                artifact.release()
+            for artifact in self._relaxed.values():
+                artifact.release()
+            self._exact.clear()
+            self._relaxed.clear()
+            self._shape_misses.clear()
+            for key in self._stats:
+                self._stats[key] = 0
+
+    def stats(self) -> dict:
+        """Hit/miss/eviction/relaxation counters plus current size."""
+        with self._lock:
+            stats = dict(self._stats)
+            stats["size"] = len(self._exact) + len(self._relaxed)
+            return stats
 
 
 class RetraceWarning(UserWarning):

@@ -160,6 +160,67 @@ class CompilationPipeline:
         self.finalize(specialized)
         return specialized
 
+    # -- lazy segments -----------------------------------------------------
+    def compile_segment(
+        self,
+        name: str,
+        input_specs: Sequence[TensorSpec],
+        ops: Sequence[tuple],
+        fetches: Sequence[tuple],
+    ):
+        """Lower one recorded lazy-trace segment to a planned graph function.
+
+        The lazy executor (:mod:`repro.runtime.lazy`) hands over the
+        recorded segment in a graph-free form and gets back an
+        executable artifact that went through the same pipeline stages
+        as a traced ``function``: build → optimize (incl. the ``fuse``
+        pass when ``context.graph_fusion`` is on) → shape refinement →
+        plan (with the static memory plan and in-place donation).
+
+        Args:
+            name: artifact name (diagnostics only).
+            input_specs: one :class:`TensorSpec` per external input, in
+                feed order.  Relaxed (``None``-dimension) specs produce
+                a shape-polymorphic artifact.
+            ops: recorded operations in program order, each a tuple
+                ``(op_name, attrs, in_refs)`` where every input ref is
+                ``("e", i)`` (external input ``i``) or ``("o", k, j)``
+                (output ``j`` of recorded op ``k``).
+            fetches: ``(k, j)`` pairs selecting the live outputs, in the
+                order the caller wants them back from ``run()``.
+
+        Returns:
+            A planned :class:`~repro.graph.function.GraphFunction` whose
+            runner labels kernel errors with the failing op's name (the
+            deferred-error contract of the lazy mode).
+        """
+        from repro.framework.tensor_shape import TensorShape
+        from repro.graph.function import GraphFunction
+        from repro.graph.graph import Graph
+
+        graph = Graph(name=name)
+        inputs = [
+            graph.add_operation(
+                "Placeholder",
+                [],
+                {"dtype": spec.dtype, "shape": TensorShape(spec.shape)},
+                name=f"seg_arg_{i}",
+            )[0]
+            for i, spec in enumerate(input_specs)
+        ]
+        produced: list = []
+        for op_name, attrs, in_refs in ops:
+            sym_inputs = [
+                inputs[ref[1]] if ref[0] == "e" else produced[ref[1]][ref[2]]
+                for ref in in_refs
+            ]
+            produced.append(graph.add_operation(op_name, sym_inputs, attrs))
+        outputs = [produced[k][j] for k, j in fetches]
+        fn = GraphFunction(name=name, graph=graph, inputs=inputs, outputs=outputs)
+        self.finalize(fn)
+        self.plan(fn).label_errors = True
+        return fn
+
     def compile(
         self,
         fn,

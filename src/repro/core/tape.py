@@ -204,13 +204,14 @@ class GradientTape:
                     "output_gradients must match the structure of target"
                 )
         source_flat = nest.flatten(sources)
-        # Gradient computation is a synchronization point of async eager
-        # mode: the forward ops this tape recorded may still be pending
-        # on execution streams, and a deferred forward error must
-        # surface here rather than mid-backward-sweep.
+        # Gradient computation is a synchronization point of the async
+        # and lazy eager modes: the forward ops this tape recorded may
+        # still be pending on execution streams or in an unflushed lazy
+        # trace, and a deferred forward error must surface here rather
+        # than mid-backward-sweep.
         from repro.runtime.context import context as _runtime_context
 
-        if _runtime_context.async_eager and _runtime_context.executing_eagerly():
+        if _runtime_context.executor_mode != "sync" and _runtime_context.executing_eagerly():
             _runtime_context.sync()
         with self.stop_recording():
             result_flat = backprop.imperative_grad(

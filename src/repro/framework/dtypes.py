@@ -48,6 +48,20 @@ class DType:
             raise ValueError(f"Duplicate dtype registration: {name!r}")
         self._name = name
         self._np_dtype = np.dtype(np_dtype)
+        # Instances are interned, so type classification is computed once
+        # here and stored as plain attributes: ``dtype.is_floating`` sits
+        # on the operator-dispatch hot path (scalar operand promotion),
+        # where a per-access ``np.issubdtype`` probe is measurable.
+        self.is_floating = bool(np.issubdtype(self._np_dtype, np.floating))
+        self.is_complex = bool(
+            np.issubdtype(self._np_dtype, np.complexfloating)
+        )
+        self.is_integer = bool(np.issubdtype(self._np_dtype, np.integer))
+        self.is_bool = self._np_dtype == np.bool_
+        #: Whether gradients may flow through tensors of this type.
+        self.is_differentiable = self.is_floating or self.is_complex
+        #: Size in bytes of one element.
+        self.size = int(self._np_dtype.itemsize)
         DType._registry[name] = self
 
     @property
@@ -57,32 +71,6 @@ class DType:
     @property
     def as_numpy_dtype(self) -> np.dtype:
         return self._np_dtype
-
-    @property
-    def is_floating(self) -> bool:
-        return np.issubdtype(self._np_dtype, np.floating)
-
-    @property
-    def is_complex(self) -> bool:
-        return np.issubdtype(self._np_dtype, np.complexfloating)
-
-    @property
-    def is_integer(self) -> bool:
-        return np.issubdtype(self._np_dtype, np.integer)
-
-    @property
-    def is_bool(self) -> bool:
-        return self._np_dtype == np.bool_
-
-    @property
-    def is_differentiable(self) -> bool:
-        """Whether gradients may flow through tensors of this type."""
-        return self.is_floating or self.is_complex
-
-    @property
-    def size(self) -> int:
-        """Size in bytes of one element."""
-        return int(self._np_dtype.itemsize)
 
     @property
     def min(self):

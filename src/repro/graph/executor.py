@@ -116,6 +116,7 @@ class GraphRunner:
         graph: Graph,
         fetches: Sequence,
         include_side_effects: bool = True,
+        label_errors: bool = False,
     ) -> None:
         """Plan execution of ``fetches`` (symbolic tensors, or Nodes for
         pure side-effect operations like variable assignment).
@@ -124,10 +125,17 @@ class GraphRunner:
         side-effecting node in the graph; ``False`` (classic Session
         semantics) runs only what the fetches reach — fetch-driven
         pruning, paper §5.
+
+        ``label_errors=True`` (flushed lazy segments) attaches the
+        failing node's op name to kernel exceptions via
+        :func:`~repro.runtime.stream._attach_op_name`, preserving the
+        deferred-error contract: an error surfacing long after the op
+        was recorded still names the op that raised it.
         """
         self.graph = graph
         self.fetches = list(fetches)
         self._include_side_effects = include_side_effects
+        self.label_errors = label_errors
         self._build_schedule()
 
     def _build_schedule(self) -> None:
@@ -387,6 +395,25 @@ class GraphRunner:
                 )
 
     def _run_serial(self, feed_values: dict[int, Tensor]) -> list[Tensor]:
+        if not self.label_errors:
+            return self._run_serial_loop(feed_values)
+        state: list = [None]  # the node being executed, for error labels
+        try:
+            return self._run_serial_loop(feed_values, state)
+        except BaseException as exc:  # noqa: BLE001 - relabelled, re-raised
+            node = state[0]
+            if node is None:
+                raise
+            from repro.runtime.stream import _attach_op_name
+
+            labelled = _attach_op_name(exc, node.op_name)
+            if labelled is exc:
+                raise
+            raise labelled
+
+    def _run_serial_loop(
+        self, feed_values: dict[int, Tensor], state: Optional[list] = None
+    ) -> list[Tensor]:
         store: dict[int, Tensor] = dict(self.const_store)
         cpu = context.cpu_device()
         core = dispatch.core
@@ -394,6 +421,8 @@ class GraphRunner:
         as_dtype = dtypes.as_dtype
         ndarray = np.ndarray
         for node, is_placeholder, kernel, attrs, in_ids, out_entries, single, dies, donate in self.plan:
+            if state is not None:
+                state[0] = node
             if is_placeholder:
                 try:
                     value = feed_values[id(node)]
@@ -472,6 +501,8 @@ class GraphRunner:
             # Buffer freeing: drop values after their last consumer.
             for i in dies:
                 store.pop(i, None)
+        if state is not None:
+            state[0] = None  # fetch errors are not any node's fault
         return [self._fetch(store, t) for t in self.fetches]
 
     def _fetch(self, store: dict[int, Tensor], t) -> Optional[Tensor]:

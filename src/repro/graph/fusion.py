@@ -37,6 +37,7 @@ from typing import Optional, Sequence
 
 from repro.framework import dtypes
 from repro.ops import registry
+from repro.runtime.stream import _attach_op_name
 from repro.tensor import TensorSpec
 from repro.graph.graph import Graph, Node, SymbolicTensor
 
@@ -203,20 +204,34 @@ class FusionRegion:
         """Run the region's kernels over concrete arrays."""
         run = self._compiled
         if run is not None:
-            return run(inputs, device)
+            try:
+                return run(inputs, device)
+            except BaseException:  # noqa: BLE001 - diagnosed by the replay
+                # Fall through to the interpreter, which attributes the
+                # error to the member op that raised it rather than to
+                # the fused region.  External input buffers are never
+                # donated, so the replay from them is deterministic;
+                # internal buffers half-written by the failed compiled
+                # run are simply recomputed.
+                pass
         vals = list(inputs)
-        for _op, kernel, inplace, attrs, in_refs, donate, dies in self.steps:
+        for op_name, kernel, inplace, attrs, in_refs, donate, dies in self.steps:
             args = [vals[r] for r in in_refs]
-            if donate >= 0:
-                # Static shape/dtype checks made this safe at build
-                # time; a ufunc still raises if a polymorphic caller
-                # fed mismatched buffers — fall back to allocating.
-                try:
-                    out = inplace(args, attrs, device, vals[donate])
-                except (ValueError, TypeError):
+            try:
+                if donate >= 0:
+                    # Static shape/dtype checks made this safe at build
+                    # time; a ufunc still raises if a polymorphic caller
+                    # fed mismatched buffers — fall back to allocating.
+                    try:
+                        out = inplace(args, attrs, device, vals[donate])
+                    except (ValueError, TypeError):
+                        out = kernel(args, attrs, device)
+                else:
                     out = kernel(args, attrs, device)
-            else:
-                out = kernel(args, attrs, device)
+            except BaseException as exc:  # noqa: BLE001 - relabelled
+                # Deferred-error contract: the error names the member
+                # op, not the FusedElementwise region it fused into.
+                raise _attach_op_name(exc, op_name)
             vals.append(out)
             for d in dies:
                 vals[d] = None

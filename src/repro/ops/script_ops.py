@@ -128,13 +128,13 @@ def py_func(func: Callable, inp: Sequence, Tout, output_shapes=None):
     from repro.runtime.context import context
     from repro.runtime.executor import execute
 
-    # py_func is a synchronization point of async eager mode: the
-    # wrapped function runs arbitrary Python (prints, file writes, reads
-    # of external state), so every previously submitted op — and any
-    # deferred error — must land before it runs.  The stateful-op
-    # fallback in dispatch would flush too; syncing here keeps the
-    # guarantee even when the call is staged into a graph.
-    if context.async_eager and context.executing_eagerly():
+    # py_func is a synchronization point of the async and lazy eager
+    # modes: the wrapped function runs arbitrary Python (prints, file
+    # writes, reads of external state), so every previously submitted or
+    # recorded op — and any deferred error — must land before it runs.
+    # The stateful-op fallback in dispatch would flush too; syncing here
+    # keeps the guarantee even when the call is staged into a graph.
+    if context.executor_mode != "sync" and context.executing_eagerly():
         context.sync()
 
     single = not isinstance(Tout, (list, tuple))

@@ -75,7 +75,7 @@ class Context:
         self._soft_device_placement = True
         self._inter_op_threads = self._threads_from_env()
         self._rpc_deadline_ms = self._rpc_deadline_from_env()
-        self._async_eager = self._async_from_env()
+        self._executor_mode = self._executor_mode_from_env()
         self._relax_shapes = self._relax_shapes_from_env()
         self._relax_retraces = self._relax_retraces_from_env()
         self._trace_cache_size = self._trace_cache_size_from_env()
@@ -114,6 +114,25 @@ class Context:
         return raw in ("1", "true", "yes", "on")
 
     @staticmethod
+    def _lazy_from_env() -> bool:
+        raw = os.environ.get("REPRO_LAZY_EAGER", "0").strip().lower()
+        return raw in ("1", "true", "yes", "on")
+
+    @staticmethod
+    def _executor_mode_from_env() -> str:
+        """Submission policy selected by the environment.
+
+        ``REPRO_LAZY_EAGER`` wins over ``REPRO_ASYNC_EAGER`` — lazy mode
+        subsumes async pipelining (the flush itself may enqueue on
+        streams) so setting both means "lazy".
+        """
+        if Context._lazy_from_env():
+            return "lazy"
+        if Context._async_from_env():
+            return "async"
+        return "sync"
+
+    @staticmethod
     def _relax_shapes_from_env() -> bool:
         raw = os.environ.get("REPRO_RELAX_SHAPES", "0").strip().lower()
         return raw in ("1", "true", "yes", "on")
@@ -135,7 +154,9 @@ class Context:
 
     @staticmethod
     def _graph_fusion_from_env() -> bool:
-        raw = os.environ.get("REPRO_GRAPH_FUSION", "0").strip().lower()
+        # Default ON since the fusion pass graduated from the gated
+        # tier1-fusion lane; REPRO_GRAPH_FUSION=0 is the opt-out.
+        raw = os.environ.get("REPRO_GRAPH_FUSION", "1").strip().lower()
         return raw in ("1", "true", "yes", "on")
 
     @staticmethod
@@ -156,45 +177,66 @@ class Context:
     # -- placement / execution knobs --------------------------------------
     @property
     def async_eager(self) -> bool:
-        """Whether eager ops execute asynchronously (read-only view)."""
-        return self._async_eager
+        """Whether eager ops enqueue on execution streams (read-only view)."""
+        return self._executor_mode == "async"
+
+    @property
+    def lazy_eager(self) -> bool:
+        """Whether eager ops are recorded into a pending lazy trace."""
+        return self._executor_mode == "lazy"
 
     @property
     def executor_mode(self) -> str:
-        """``"sync"`` or ``"async"`` eager execution (paper §4.1, §4.4).
+        """``"sync"``, ``"async"``, or ``"lazy"`` eager execution.
 
-        In async mode ``execute()`` enqueues each op on its device's
-        :class:`~repro.runtime.stream.ExecutionStream` and returns a
-        pending :class:`~repro.tensor.AsyncTensor` immediately; the
-        Python thread only waits when a value is observed.  Initialised
-        from ``REPRO_ASYNC_EAGER`` (default ``"sync"``).  The mode is
-        process-global, like TF's ``executor``: switch it between
-        training phases, not per-thread.
+        The three submission policies behind ``execute()`` (paper §4.1,
+        §4.4 plus the LazyTensor-style implicit staging mode):
+
+        * ``"sync"`` — dispatch each op's kernel before returning.
+        * ``"async"`` — enqueue on the device's
+          :class:`~repro.runtime.stream.ExecutionStream` and return a
+          pending :class:`~repro.tensor.AsyncTensor` immediately; the
+          Python thread only waits when a value is observed.
+        * ``"lazy"`` — *record* each op into a pending
+          :class:`~repro.runtime.lazy.LazyTrace` and return pending
+          :class:`~repro.tensor.LazyTensor` outputs; observing a value
+          flushes the recorded segment through the compilation
+          pipeline (optimize → fuse → plan → execute) with a
+          trace-hash cache, so steady-state loops run compiled
+          artifacts.
+
+        Initialised from ``REPRO_LAZY_EAGER`` / ``REPRO_ASYNC_EAGER``
+        (default ``"sync"``).  The mode is process-global, like TF's
+        ``executor``: switch it between training phases, not per-thread.
         """
-        return "async" if self._async_eager else "sync"
+        return self._executor_mode
 
     @executor_mode.setter
     def executor_mode(self, mode: str) -> None:
-        if mode not in ("sync", "async"):
+        if mode not in ("sync", "async", "lazy"):
             raise InvalidArgumentError(
-                f'executor_mode must be "sync" or "async", got {mode!r}'
+                f'executor_mode must be "sync", "async", or "lazy", got {mode!r}'
             )
-        want_async = mode == "async"
-        if want_async == self._async_eager:
+        if mode == self._executor_mode:
             return
-        if not want_async:
-            # Leaving async mode is itself a synchronization point:
-            # drain in-flight ops (raising any deferred error) so sync
-            # mode starts from a quiescent runtime.
+        if self._executor_mode != "sync":
+            # Leaving a deferred mode is itself a synchronization point:
+            # flush recorded segments / drain in-flight ops (raising any
+            # deferred error) so the new mode starts from a quiescent
+            # runtime.
             self.sync()
-        self._async_eager = want_async
+        self._executor_mode = mode
 
     def sync(self) -> None:
-        """Block until all asynchronously submitted ops have finished.
+        """Block until all deferred-submitted ops have finished.
 
-        Re-raises the first undelivered deferred error, with the op
-        name attached.  A no-op in sync mode with nothing in flight.
+        Flushes any pending lazy traces, then waits for every execution
+        stream; re-raises the first undelivered deferred error, with the
+        op name attached.  A no-op in sync mode with nothing in flight.
         """
+        lazy_mod = sys.modules.get("repro.runtime.lazy")
+        if lazy_mod is not None:
+            lazy_mod.sync_lazy()
         stream_mod = sys.modules.get("repro.runtime.stream")
         if stream_mod is None:
             return  # nothing was ever executed asynchronously
@@ -245,7 +287,8 @@ class Context:
         by one precompiled kernel dispatch, and the graph executor's
         static memory plan additionally enables in-place buffer donation
         (an op may write into a dying input buffer).  Initialised from
-        ``REPRO_GRAPH_FUSION`` (default off).  Applies to traces and
+        ``REPRO_GRAPH_FUSION`` (default **on**; set ``0`` to opt out).
+        Applies to traces and
         execution plans built afterwards; already-planned functions keep
         the plan they were built with.
         """
@@ -521,13 +564,16 @@ def sync() -> None:
 
 
 class execution_mode:
-    """Context manager running a block under ``"sync"`` or ``"async"`` eager.
+    """Context manager running a block under one of the eager policies.
 
     ::
 
         with execution_mode("async"):
             y = model(x)          # ops overlap with Python dispatch
-        # exiting restores the previous mode (draining if leaving async)
+        with execution_mode("lazy"):
+            y = model(x)          # ops are recorded; flushed when observed
+        # exiting restores the previous mode (flushing/draining if
+        # leaving a deferred mode)
 
     The underlying knob is process-global (see
     :attr:`Context.executor_mode`); use this from the coordinating
@@ -535,9 +581,9 @@ class execution_mode:
     """
 
     def __init__(self, mode: str) -> None:
-        if mode not in ("sync", "async"):
+        if mode not in ("sync", "async", "lazy"):
             raise InvalidArgumentError(
-                f'execution_mode must be "sync" or "async", got {mode!r}'
+                f'execution_mode must be "sync", "async", or "lazy", got {mode!r}'
             )
         self._mode = mode
         self._previous: Optional[str] = None
@@ -550,6 +596,11 @@ class execution_mode:
     def __exit__(self, exc_type, exc, tb) -> None:
         try:
             context.executor_mode = self._previous
+            if self._mode != "sync" and self._previous == self._mode:
+                # Restoring an identical deferred mode makes the setter
+                # a no-op, but leaving the block is still a
+                # synchronization point: flush/drain here too.
+                context.sync()
         except BaseException:
             if exc_type is None:
                 raise

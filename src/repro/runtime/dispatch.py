@@ -67,7 +67,7 @@ from repro.ops import registry
 from repro.runtime.context import context
 from repro.runtime.device import Device
 from repro.runtime.stream import PendingHandle, sync_all_streams
-from repro.tensor import AsyncTensor, Tensor, TensorBase
+from repro.tensor import AsyncTensor, PendingTensor, Tensor, TensorBase
 
 __all__ = ["DispatchCore", "OpInterceptor", "core", "wrap_outputs"]
 
@@ -369,7 +369,7 @@ class DispatchCore:
         # which also keeps stream workers from ever blocking on each
         # other (the cross-stream dependency graph stays acyclic).
         for t in inputs:
-            if isinstance(t, AsyncTensor) and t._device is not device:
+            if isinstance(t, PendingTensor) and t._device is not device:
                 t._materialize()
         try:
             specs = op_def.infer(list(inputs), attrs)

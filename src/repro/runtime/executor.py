@@ -8,16 +8,29 @@ function inspects the runtime context and either
   returning symbolic tensors (paper §4.1: "in a graph-building context,
   operations return symbolic representations of values to be computed
   instead of concrete values"), or
-* **executes** it immediately through
-  :meth:`repro.runtime.dispatch.DispatchCore.dispatch` — the single
-  kernel-dispatch implementation shared with the graph executor, which
-  resolves placement, performs transparent cross-device input copies
-  (Listing 5), hits the per-signature kernel cache, and runs the
-  registered interceptor stack (profiler, op records, …).
+* **submits** it through the active :class:`SubmissionPolicy` — the one
+  pluggable seam between "an eager op was requested" and "a kernel
+  ran".  Three policies exist, selected by ``context.executor_mode``:
+
+  - ``sync`` — :meth:`DispatchCore.dispatch`: resolve placement, run
+    the kernel on the calling thread, return concrete tensors.
+  - ``async`` — :meth:`DispatchCore.dispatch_async`: enqueue on the
+    device's :class:`~repro.runtime.stream.ExecutionStream`, return
+    pending :class:`~repro.tensor.AsyncTensor` outputs (§4.1, §4.4).
+  - ``lazy`` — :func:`repro.runtime.lazy.submit`: record into a pending
+    :class:`~repro.runtime.lazy.LazyTrace`, return pending
+    :class:`~repro.tensor.LazyTensor` outputs; at a sync point the
+    whole segment is compiled through the staged pipeline and run as
+    one fused, memory-planned graph.
+
+  All three share the pending-value protocol of
+  :class:`~repro.tensor.PendingTensor` and the deferred-error contract
+  of :mod:`repro.runtime.stream`: observation forces, errors keep their
+  type, carry the originating op's name, and deliver exactly once.
 
 There is deliberately no kernel lookup or device probing here: the
 paper's claim that imperative and staged execution "use the same APIs
-and kernels" (§4.1) holds because both executors call the same
+and kernels" (§4.1) holds because every policy bottoms out in the same
 :data:`repro.runtime.dispatch.core`.  Cross-cutting concerns hook in as
 interceptors (see the :mod:`repro.runtime.dispatch` docstring), not as
 special cases in this file.
@@ -30,7 +43,15 @@ from typing import Callable, Optional, Sequence
 from repro.runtime.context import context
 from repro.runtime.dispatch import core
 
-__all__ = ["execute", "set_compiled_op_runner"]
+__all__ = [
+    "AsyncPolicy",
+    "LazyPolicy",
+    "SubmissionPolicy",
+    "SyncPolicy",
+    "execute",
+    "get_policy",
+    "set_compiled_op_runner",
+]
 
 
 def set_compiled_op_runner(runner: Optional[Callable]) -> None:
@@ -41,6 +62,108 @@ def set_compiled_op_runner(runner: Optional[Callable]) -> None:
     :meth:`DispatchCore.install_compilation_runner`.
     """
     core.install_compilation_runner(runner)
+
+
+class SubmissionPolicy:
+    """How one eager op request becomes execution.
+
+    A policy decides *when* the kernel runs relative to the Python
+    thread; it never changes *what* runs (placement, kernels, and
+    interceptors all live in the dispatch core).  Policies are
+    stateless singletons — the per-mode state (streams, pending traces)
+    lives in their backing modules.
+    """
+
+    #: The ``context.executor_mode`` value that selects this policy.
+    name = "abstract"
+
+    def submit(self, op_name: str, inputs: Sequence, attrs: dict) -> list:
+        """Submit one op; returns its (possibly pending) output tensors."""
+        raise NotImplementedError
+
+    def sync(self) -> None:
+        """Finish all deferred work, delivering any deferred error."""
+
+    def drain(self) -> None:
+        """Finish all deferred work *without* delivering errors."""
+
+
+class SyncPolicy(SubmissionPolicy):
+    """Kernel runs on the calling thread before ``submit`` returns."""
+
+    name = "sync"
+
+    def submit(self, op_name, inputs, attrs):
+        return core.dispatch(op_name, inputs, attrs)
+
+
+class AsyncPolicy(SubmissionPolicy):
+    """Kernel runs on the device's stream worker; outputs are pending."""
+
+    name = "async"
+
+    def submit(self, op_name, inputs, attrs):
+        return core.dispatch_async(op_name, inputs, attrs)
+
+    def sync(self):
+        from repro.runtime import stream
+
+        stream.sync_all_streams()
+
+    def drain(self):
+        from repro.runtime import stream
+
+        stream.drain_all_streams()
+
+
+class LazyPolicy(SubmissionPolicy):
+    """Op is recorded; kernels run (fused and planned) at a sync point.
+
+    The lazy module is imported on first use: its machinery pulls in the
+    staged-compilation stack, which must not be a hard import dependency
+    of the runtime package.
+    """
+
+    name = "lazy"
+    _lazy = None
+
+    def _module(self):
+        lazy = self._lazy
+        if lazy is None:
+            from repro.runtime import lazy
+
+            LazyPolicy._lazy = lazy
+        return LazyPolicy._lazy
+
+    def submit(self, op_name, inputs, attrs):
+        lazy = self._lazy
+        if lazy is None:
+            lazy = self._module()
+        return lazy.submit(op_name, inputs, attrs)
+
+    def sync(self):
+        from repro.runtime import stream
+
+        self._module().sync_lazy()
+        stream.sync_all_streams()
+
+    def drain(self):
+        from repro.runtime import stream
+
+        self._module().flush_all_pending()
+        stream.drain_all_streams()
+
+
+_POLICIES = {
+    SyncPolicy.name: SyncPolicy(),
+    AsyncPolicy.name: AsyncPolicy(),
+    LazyPolicy.name: LazyPolicy(),
+}
+
+
+def get_policy(mode: Optional[str] = None) -> SubmissionPolicy:
+    """The policy singleton for ``mode`` (default: the active mode)."""
+    return _POLICIES[context._executor_mode if mode is None else mode]
 
 
 def execute(
@@ -71,12 +194,5 @@ def execute(
         core.notify_staged(op_name, attrs, inputs, outputs)
         return outputs[0] if len(outputs) == 1 else tuple(outputs)
 
-    if context.async_eager:
-        # Async eager mode (§4.1, §4.4): enqueue on the device's
-        # execution stream and return pending tensors immediately; the
-        # value materializes in the background and the Python thread
-        # only waits when a value is observed.
-        outputs = core.dispatch_async(op_name, inputs, attrs)
-    else:
-        outputs = core.dispatch(op_name, inputs, attrs)
+    outputs = _POLICIES[context._executor_mode].submit(op_name, inputs, attrs)
     return outputs[0] if len(outputs) == 1 else tuple(outputs)

@@ -81,6 +81,12 @@ class Profile:
         # Elementwise primitives covered by FusedElementwise dispatches
         # (each fused kernel executes region.size staged ops in one call).
         self.fused_covered_ops = 0
+        # Lazy-mode flush accounting: every segment flush reports how
+        # many recorded ops it covered and whether it hit the
+        # trace-hash segment cache.
+        self.lazy_flushes = 0
+        self.lazy_cache_hits = 0
+        self.lazy_recorded_ops = 0
         self._entered = 0.0
         # Async eager mode runs on_complete on stream worker threads, so
         # several threads can add samples concurrently.
@@ -103,8 +109,13 @@ class Profile:
         # so their kernel timings land in this profile.  This only
         # drains; deferred errors stay queued for the next sync point
         # rather than erupting out of the `with` block.
+        import sys
+
         from repro.runtime.stream import drain_all_streams
 
+        lazy_mod = sys.modules.get("repro.runtime.lazy")
+        if lazy_mod is not None:
+            lazy_mod.flush_all_pending()
         drain_all_streams()
         self.wall_seconds = time.perf_counter() - self._entered
         dispatch.core.unregister_interceptor(_interceptor)
@@ -127,6 +138,13 @@ class Profile:
     def add_fused(self, covered: int) -> None:
         with self._stats_lock:
             self.fused_covered_ops += covered
+
+    def add_lazy_flush(self, recorded_ops: int, cache_hit: bool) -> None:
+        with self._stats_lock:
+            self.lazy_flushes += 1
+            self.lazy_recorded_ops += recorded_ops
+            if cache_hit:
+                self.lazy_cache_hits += 1
 
     # -- reporting ----------------------------------------------------------
     @property
@@ -164,6 +182,13 @@ class Profile:
             lines.append(
                 f"fused kernels: {fused.count} dispatches covering "
                 f"{covered} elementwise ops ({avg:.1f} ops/dispatch)"
+            )
+        if self.lazy_flushes:
+            hit_pct = self.lazy_cache_hits / self.lazy_flushes * 100.0
+            lines.append(
+                f"lazy eager: {self.lazy_flushes} flushes covering "
+                f"{self.lazy_recorded_ops} recorded ops; trace-hash cache "
+                f"hit rate {hit_pct:.0f}%"
             )
         if self.retries:
             total_retries = sum(self.retries.values())

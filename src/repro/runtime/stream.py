@@ -1,8 +1,13 @@
 """Per-device execution streams for asynchronous eager execution.
 
 The paper's runtime "executes operations asynchronously, only forcing
-the Python thread to wait when a value is observed" (§4.1, §4.4).  This
-module supplies the two mechanisms behind that mode:
+the Python thread to wait when a value is observed" (§4.1, §4.4).
+Streams back the ``"async"`` submission policy — one of the three
+pluggable policies (sync / async / lazy) behind
+:func:`repro.runtime.executor.execute`; the ``"lazy"`` policy
+(:mod:`repro.runtime.lazy`) reuses this module's pending-handle and
+deferred-error machinery for recorded segments.  This module supplies
+the two mechanisms behind the async mode:
 
 * :class:`ExecutionStream` — one ordered worker thread per
   :class:`~repro.runtime.device.Device`.  Ops enqueued on a stream run
@@ -47,6 +52,7 @@ from repro.framework.errors import (
 __all__ = [
     "ExecutionStream",
     "PendingHandle",
+    "attach_op_name",
     "drain_all_streams",
     "sync_all_streams",
     "default_stream_depth",
@@ -92,6 +98,11 @@ def _attach_op_name(exc: BaseException, op_name: str) -> BaseException:
     except BaseException:
         pass
     return labelled
+
+
+#: Public alias: the deferred-error labelling protocol is shared by the
+#: async streams, the lazy-trace flush path, and fused-region replay.
+attach_op_name = _attach_op_name
 
 
 # Handles of in-flight *remote* ops (completed by worker-server futures

@@ -30,12 +30,19 @@ from repro.runtime.device import Device
 
 __all__ = [
     "AsyncTensor",
+    "LazyTensor",
+    "PendingTensor",
     "Tensor",
     "TensorBase",
     "TensorSpec",
     "convert_to_tensor",
     "unwrap_handle",
 ]
+
+
+# Cached repro.ops.execute_binary, bound on first operator dispatch (the
+# ops package imports this module, so the import must be deferred).
+_execute_binary = None
 
 
 class _HandleBox:
@@ -76,9 +83,15 @@ class TensorBase:
 
     # -- arithmetic ---------------------------------------------------------
     def _binary_op(self, op_name: str, other, reverse: bool = False):
-        from repro.ops import execute_binary
+        # Bound lazily (ops imports tensor, so a top-level import would
+        # be circular) and cached: this is the operator-overload hot
+        # path, and even a sys.modules probe per ``x * 2.0`` shows up.
+        global _execute_binary
+        if _execute_binary is None:
+            from repro.ops import execute_binary
 
-        return execute_binary(op_name, self, other, reverse=reverse)
+            _execute_binary = execute_binary
+        return _execute_binary(op_name, self, other, reverse=reverse)
 
     def __add__(self, other):
         return self._binary_op("Add", other)
@@ -355,44 +368,48 @@ class Tensor(TensorBase):
         return self.__repr__()
 
 
-class AsyncTensor(Tensor):
-    """A tensor whose value is still being computed on an execution stream.
+class PendingTensor(Tensor):
+    """Shared pending-value protocol for tensors not yet computed.
 
-    Async eager mode (§4.1: the runtime "executes operations
-    asynchronously, only forcing the Python thread to wait when a value
-    is observed") returns these from ``execute()``: the dtype and
-    (inferred) shape are known immediately, while the buffer
-    materializes in the background on the producing device's
-    :class:`~repro.runtime.stream.ExecutionStream`.
-
-    The class overrides the ``_array`` storage slot with a *blocking
+    Both deferred eager policies — async streams and lazy trace
+    recording — return tensors whose dtype and (inferred) shape are
+    known immediately while the buffer materializes later.  This base
+    class overrides the ``_array`` storage slot with a *forcing
     property*, so every existing code path that touches a tensor's
     buffer — ``.numpy()``, ``.item()``, ``bool()/float()/int()``,
     kernels consuming the tensor, cross-device copies — is
     automatically a synchronization point, with no changes at those
     call sites.  If the producing op failed, the deferred error
     (op name attached, original type preserved) re-raises here.
+
+    Subclasses hook :meth:`_resolve_output` to say *how* forcing
+    happens: async tensors block on their stream handle, lazy tensors
+    first flush the recorded trace that will settle the handle.
     """
 
     __slots__ = ("_handle", "_index", "_pending_shape", "_value")
 
     @classmethod
-    def _pending(cls, handle, index: int, spec: "TensorSpec", device: Device) -> "AsyncTensor":
+    def _pending(cls, handle, index: int, spec: "TensorSpec", device: Device):
         """A tensor for output ``index`` of the op behind ``handle``."""
         t = cls.__new__(cls)
         t._value = None
         t._handle = handle
         t._index = index
         t._dtype = spec.dtype
-        t._pending_shape = TensorShape(spec.shape)
+        t._pending_shape = spec.shape  # TensorSpec.shape is a TensorShape
         t._device = device
         return t
+
+    def _resolve_output(self, handle) -> "Tensor":
+        """Produce the settled output (blocking / flushing as needed)."""
+        return handle.output(self._index)
 
     @property
     def _array(self) -> np.ndarray:
         handle = self._handle
         if handle is not None:
-            out = handle.output(self._index)
+            out = self._resolve_output(handle)
             self._value = out._array
             self._dtype = out._dtype
             # Clear the handle only after _value is written: the GIL
@@ -401,8 +418,8 @@ class AsyncTensor(Tensor):
             self._handle = None
         return self._value
 
-    def _materialize(self) -> "AsyncTensor":
-        """Block until the value is resident (or raise its deferred error)."""
+    def _materialize(self) -> "PendingTensor":
+        """Force the value to be resident (or raise its deferred error)."""
         self._array
         return self
 
@@ -413,13 +430,77 @@ class AsyncTensor(Tensor):
 
     @property
     def shape(self) -> TensorShape:
-        # Shape queries block only when inference left dynamic dims
+        # Shape queries force only when inference left dynamic dims
         # (the "shape queries that need the value" sync point).
         if self._handle is not None:
             pending = self._pending_shape
             if pending.is_fully_defined:
                 return pending
         return TensorShape(self._array.shape)
+
+
+class AsyncTensor(PendingTensor):
+    """A tensor whose value is still being computed on an execution stream.
+
+    Async eager mode (§4.1: the runtime "executes operations
+    asynchronously, only forcing the Python thread to wait when a value
+    is observed") returns these from ``execute()``: the buffer
+    materializes in the background on the producing device's
+    :class:`~repro.runtime.stream.ExecutionStream`, and touching it
+    blocks the Python thread until the stream settles the handle.
+    """
+
+    __slots__ = ()
+
+
+class LazyTensor(PendingTensor):
+    """A tensor recorded — not yet executed — in a pending lazy trace.
+
+    Lazy eager mode records ops into a
+    :class:`~repro.runtime.lazy.LazyTrace` instead of running them;
+    forcing any output flushes the whole recorded segment through the
+    compilation pipeline, which settles this tensor's handle (with a
+    value, or with the deferred error of the originating op).
+    """
+
+    __slots__ = ("_trace",)
+
+    @classmethod
+    def _pending_in_trace(
+        cls, handle, index: int, spec: "TensorSpec", device: Device, trace
+    ) -> "LazyTensor":
+        # PendingTensor._pending inlined: one of these is built per
+        # recorded-op output, and lazy mode only pays off while
+        # recording stays cheaper than kernel dispatch.
+        t = cls.__new__(cls)
+        t._value = None
+        t._handle = handle
+        t._index = index
+        t._dtype = spec.dtype
+        t._pending_shape = spec.shape  # TensorSpec.shape is a TensorShape
+        t._device = device
+        t._trace = trace
+        return t
+
+    def _resolve_output(self, handle) -> "Tensor":
+        trace = self._trace
+        if trace is not None:
+            self._trace = None
+            if not handle.done():
+                trace.flush()
+        return handle.output(self._index)
+
+    @property
+    def constant_value(self):
+        # While pending, report "not statically known" instead of
+        # forcing a flush: shape inference consults constant_value on
+        # the inputs of every recorded op, and materializing there
+        # would defeat the recording entirely.
+        if not self.is_ready():
+            return None
+        if self._dtype in (dtypes.resource, dtypes.variant):
+            return None
+        return self._array
 
 
 class TensorSpec:

@@ -34,10 +34,15 @@ def _reset_context_knobs():
     """
     interceptors_before = tuple(dispatch.core._interceptors)
     yield
-    # Async streams: wait for stragglers, then *discard* any deferred
-    # error — it belongs to the test that just finished, not the next.
+    # Lazy traces: flush any pending segment, then *discard* the
+    # deferred error — it belongs to the test that just finished.
     import sys
 
+    lazy_mod = sys.modules.get("repro.runtime.lazy")
+    if lazy_mod is not None:
+        lazy_mod.flush_all_pending()
+        lazy_mod.take_deferred()
+    # Async streams: wait for stragglers, then likewise discard.
     stream_mod = sys.modules.get("repro.runtime.stream")
     if stream_mod is not None:
         stream_mod.drain_all_streams()
@@ -48,7 +53,7 @@ def _reset_context_knobs():
         with stream_mod._remote_lock:
             stream_mod._remote_handles.clear()
     # Execution knobs back to their environment-derived defaults.
-    context._async_eager = Context._async_from_env()
+    context._executor_mode = Context._executor_mode_from_env()
     context.soft_device_placement = True
     context.inter_op_parallelism_threads = Context._threads_from_env()
     context.rpc_deadline_ms = Context._rpc_deadline_from_env()

@@ -133,9 +133,14 @@ class TestProfiler:
     def test_collects_per_op_stats(self):
         x = repro.constant(np.random.randn(64, 64).astype(np.float32))
         with repro.profiler.Profile() as prof:
+            # Chained (not repeated-identical) matmuls: lazy mode would
+            # CSE four copies of the same op into one dispatch.
+            y = x
             for _ in range(4):
-                repro.matmul(x, x)
-            repro.tanh(x)
+                y = repro.matmul(y, x)
+            z = repro.tanh(x)
+            repro.sync()  # async/lazy modes: run the kernels in-profile
+        del y, z
         assert prof.ops["MatMul"].count == 4
         assert prof.ops["Tanh"].count == 1
         assert prof.total_op_seconds > 0
@@ -175,7 +180,9 @@ class TestProfiler:
         x = repro.constant(np.random.randn(256, 256).astype(np.float32))
         small = repro.constant(1.0)
         with repro.profiler.Profile() as prof:
-            repro.matmul(x, x)
-            repro.add(small, small)
+            big = repro.matmul(x, x)
+            tiny = repro.add(small, small)
+            repro.sync()  # async/lazy modes: run the kernels in-profile
+        del big, tiny
         names = [name for name, _ in prof.top(2)]
         assert names[0] == "MatMul"

@@ -345,3 +345,46 @@ class TestPipelineIntegration:
             np.testing.assert_allclose(g.numpy(), expect, rtol=1e-9)
         finally:
             context.graph_fusion = previous
+
+
+class TestFusedErrorAttribution:
+    """A kernel error inside a fused region must carry the *member* op's
+    name, not the region label (the deferred-error contract: errors are
+    attributed to the op the user wrote, even after fusion rewrote it)."""
+
+    @staticmethod
+    def _ensure_boom_op():
+        from repro.framework.errors import AlreadyExistsError
+        from repro.ops import registry as op_registry
+
+        try:
+            op_registry.register_op(
+                "TestBoomElem", infer_fn=lambda inputs, attrs: [inputs[0].spec]
+            )
+        except AlreadyExistsError:
+            return
+
+        def _boom(arrays, attrs, device):
+            raise ValueError("boom kernel exploded")
+
+        op_registry.register_kernel("TestBoomElem", ("CPU",))(_boom)
+
+    def test_member_op_name_attached(self, monkeypatch):
+        self._ensure_boom_op()
+        monkeypatch.setattr(
+            fusion, "FUSABLE_OPS", fusion.FUSABLE_OPS | {"TestBoomElem"}
+        )
+        from repro.runtime.executor import execute
+
+        def build(x):
+            y = x * 2.0
+            z = execute("TestBoomElem", [y], {})
+            return z + 1.0
+
+        fn = _fn(build)
+        assert fusion.fuse_function(fn) == 1
+        (fused,) = _fused_nodes(fn)
+        assert "TestBoomElem" in fused.attrs["region"].op_names
+        with pytest.raises(ValueError, match="boom kernel exploded") as ei:
+            fn.run([repro.constant([1.0, 2.0])])
+        assert getattr(ei.value, "_repro_async_op", None) == "TestBoomElem"

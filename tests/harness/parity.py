@@ -1,11 +1,12 @@
 """Differential testing of execution modes.
 
-One program, three runtimes: the same Python function is executed
-sync-eager, async-eager (per-device streams, §4.1/§4.4), and staged
-through ``repro.function`` (§3.1).  The paper's central claim is that
-staging is a *semantics-preserving* performance knob; asynchronous
-execution makes the same promise for eager dispatch.  Each
-:class:`Program` in :data:`CORPUS` is therefore run in all three modes
+One program, four runtimes: the same Python function is executed
+sync-eager, async-eager (per-device streams, §4.1/§4.4), lazy-eager
+(LazyTensor-style recording flushed through the staged pipeline), and
+staged through ``repro.function`` (§3.1).  The paper's central claim is
+that staging is a *semantics-preserving* performance knob; asynchronous
+and lazy execution make the same promise for eager dispatch.  Each
+:class:`Program` in :data:`CORPUS` is therefore run in all four modes
 and both its outputs and its tape gradients must agree to tight
 tolerances.
 
@@ -37,7 +38,7 @@ __all__ = [
     "run_program_relaxed",
 ]
 
-MODES = ("sync", "async", "staged")
+MODES = ("sync", "async", "lazy", "staged")
 
 # Per-dtype comparison tolerances.  Mode changes may legally reorder
 # float reductions, so exact bit equality is not required; disagreement
@@ -80,16 +81,17 @@ def run_program(program: Program, mode: str, dtype: str):
     """Run ``program`` under ``mode``; return (output, gradients) as ndarrays.
 
     The gradient is of ``reduce_sum(fn(*inputs))`` with respect to every
-    input, so each mode exercises its backward path too (for async mode
-    the tape records pending tensors at submission and synchronizes at
-    ``gradient()`` — both ends of the tentpole's contract).
+    input, so each mode exercises its backward path too (for the async
+    and lazy modes the tape records pending tensors at submission and
+    synchronizes at ``gradient()`` — both ends of the pending-value
+    contract).
     """
     if mode not in MODES:
         raise ValueError(f"unknown mode {mode!r}")
     arrays = program.make_inputs(np.random.default_rng(0))
     dt = getattr(repro, dtype)
     fn = repro.function(program.fn) if mode == "staged" else program.fn
-    with repro.execution_mode("async" if mode == "async" else "sync"):
+    with repro.execution_mode("sync" if mode == "staged" else mode):
         tensors = [repro.constant(a, dtype=dt) for a in arrays]
         with repro.GradientTape() as tape:
             for t in tensors:
@@ -103,10 +105,10 @@ def run_program(program: Program, mode: str, dtype: str):
 
 
 def assert_parity(program: Program, dtype: str) -> None:
-    """Assert outputs and gradients agree across all three modes."""
+    """Assert outputs and gradients agree across all four modes."""
     tol = _TOLERANCES[dtype]
     ref_out, ref_grads = run_program(program, "sync", dtype)
-    for mode in ("async", "staged"):
+    for mode in ("async", "lazy", "staged"):
         out, grads = run_program(program, mode, dtype)
         np.testing.assert_allclose(
             out,

@@ -1,7 +1,8 @@
-"""Eager/async/staged differential tests over the parity corpus.
+"""Eager/async/lazy/staged differential tests over the parity corpus.
 
-Every program in :data:`tests.harness.parity.CORPUS` runs three times —
-sync eager, async eager, ``repro.function``-staged — and must produce
+Every program in :data:`tests.harness.parity.CORPUS` runs four times —
+sync eager, async eager, lazy eager (recorded and flushed through the
+staged pipeline), ``repro.function``-staged — and must produce
 identical outputs *and* identical input gradients.  A failure here
 localizes immediately: the program is tiny and the diverging mode is in
 the test id.
@@ -11,7 +12,7 @@ import numpy as np
 import pytest
 
 import repro
-from repro.tensor import AsyncTensor
+from repro.tensor import AsyncTensor, LazyTensor
 from tests.harness.parity import (
     CORPUS,
     MODES,
@@ -75,10 +76,23 @@ def test_async_mode_actually_defers():
         np.testing.assert_allclose(y.numpy(), [3.0, 5.0, 7.0])
 
 
+def test_lazy_mode_actually_records():
+    """The harness must genuinely exercise the lazy runtime: a plain
+    elementwise program yields recorded pending tensors under ``lazy``
+    mode, and forcing one flushes the whole segment."""
+    with repro.execution_mode("lazy"):
+        x = repro.constant([1.0, 2.0, 3.0])
+        y = x * 2.0 + 1.0
+        assert isinstance(y, LazyTensor)
+        assert not y.is_ready()
+        np.testing.assert_allclose(y.numpy(), [3.0, 5.0, 7.0])
+        assert y.is_ready()
+
+
 def test_run_program_rejects_unknown_mode():
     with pytest.raises(ValueError, match="unknown mode"):
         run_program(CORPUS[0], "turbo", "float32")
 
 
 def test_modes_tuple_is_the_public_contract():
-    assert MODES == ("sync", "async", "staged")
+    assert MODES == ("sync", "async", "lazy", "staged")

@@ -47,6 +47,20 @@ def registered(request):
     return _register
 
 
+@pytest.fixture
+def eager_dispatch_mode():
+    """Pin a mode whose ops reach the eager dispatch core.
+
+    The kernel cache and the eager interceptor stack belong to the
+    sync/async submission paths; lazy mode routes pure ops through the
+    graph executor instead, so tests of those internals run in sync
+    mode when the suite-wide default is lazy.
+    """
+    mode = "sync" if context.lazy_eager else context.executor_mode
+    with repro.execution_mode(mode):
+        yield
+
+
 class TestSharedDeviceResolution:
     def test_eager_and_graph_place_mixed_device_op_identically(self):
         """The collapsed resolver: first non-CPU input wins in both modes."""
@@ -93,6 +107,7 @@ class TestSharedDeviceResolution:
         assert "CPU" in eager_out.device
 
 
+@pytest.mark.usefixtures("eager_dispatch_mode")
 class TestKernelCache:
     def test_dispatch_populates_cache(self):
         dispatch.core.clear_kernel_cache()
@@ -143,8 +158,9 @@ class TestInterceptors:
         events = []
         registered(_Tracing("a", events), _Tracing("b", events))
         x = repro.constant(1.0)
-        repro.add(x, x)
-        repro.sync()  # async mode runs the hooks on the stream worker
+        y = repro.add(x, x)
+        repro.sync()  # async: hooks run on the worker; lazy: at the flush
+        del y
         assert events == [
             ("a", "start", "Add"),
             ("b", "start", "Add"),
@@ -233,6 +249,7 @@ class _RaisingInterceptor(dispatch.OpInterceptor):
 
 
 class TestInterceptorErrorPaths:
+    @pytest.mark.usefixtures("eager_dispatch_mode")
     def test_raising_interceptor_does_not_corrupt_kernel_cache(self, registered):
         dispatch.core.clear_kernel_cache()
         x = repro.constant(1.0)
@@ -266,7 +283,9 @@ class TestInterceptorErrorPaths:
         with repro.profiler.Profile() as prof:
             with pytest.raises(ValueError):
                 repro.matmul(x, x)
-            repro.add(repro.constant(1.0), repro.constant(1.0))
+            y = repro.add(repro.constant(1.0), repro.constant(1.0))
+            repro.sync()  # async/lazy modes: run the kernel in-profile
+        del y
         assert prof.ops["Add"].count == 1
         assert dispatch.core.interceptor_names() == []
 

@@ -1,0 +1,256 @@
+"""The lazy eager executor: recording, flushing, caching, deferred errors.
+
+Lazy mode's contract (ISSUE 6 tentpole): ``execute`` records pure ops
+into a pending trace and returns :class:`~repro.tensor.LazyTensor`
+outputs without running anything; any observation of a pending value
+flushes the whole recorded segment through the staged compilation
+pipeline (optimize → fuse → plan → run); repeated segments hit a
+trace-hash cache; dead recorded work is elided; kernel errors surface
+with the originating op's name attached, original type preserved,
+delivered exactly once — the same deferred-error protocol as async
+mode.
+"""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.framework.errors import InvalidArgumentError
+from repro.runtime import lazy
+from repro.runtime.context import Context, context
+from repro.tensor import LazyTensor, PendingTensor
+
+
+@pytest.fixture
+def lazy_mode():
+    with repro.execution_mode("lazy"):
+        yield
+
+
+def _snapshot():
+    return dict(lazy.lazy_stats())
+
+
+def _delta(before, key):
+    return lazy.lazy_stats()[key] - before[key]
+
+
+class TestExecutionModeKnob:
+    def test_env_selects_lazy(self, monkeypatch):
+        monkeypatch.setenv("REPRO_LAZY_EAGER", "1")
+        monkeypatch.delenv("REPRO_ASYNC_EAGER", raising=False)
+        assert Context._executor_mode_from_env() == "lazy"
+
+    def test_lazy_env_wins_over_async_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_LAZY_EAGER", "1")
+        monkeypatch.setenv("REPRO_ASYNC_EAGER", "1")
+        assert Context._executor_mode_from_env() == "lazy"
+
+    def test_setter_and_properties(self, lazy_mode):
+        assert context.executor_mode == "lazy"
+        assert context.lazy_eager
+        assert not context.async_eager
+
+    def test_leaving_lazy_mode_flushes(self):
+        with repro.execution_mode("lazy"):
+            y = repro.constant([1.0, 2.0]) * 2.0
+            assert isinstance(y, LazyTensor)
+            assert not y.is_ready()
+        # Mode exit is a synchronization point: recorded work ran.
+        assert y.is_ready()
+        np.testing.assert_allclose(y.numpy(), [2.0, 4.0])
+
+    def test_segment_limit_env_validation(self, monkeypatch):
+        monkeypatch.setenv("REPRO_LAZY_MAX_OPS", "banana")
+        with pytest.raises(InvalidArgumentError):
+            lazy.default_segment_limit()
+        monkeypatch.setenv("REPRO_LAZY_MAX_OPS", "0")
+        with pytest.raises(InvalidArgumentError):
+            lazy.default_segment_limit()
+
+
+class TestRecording:
+    def test_pure_ops_record_without_executing(self, lazy_mode):
+        before = _snapshot()
+        x = repro.constant([1.0, 2.0, 3.0])
+        y = repro.tanh(x * 2.0 + 1.0)
+        assert isinstance(y, LazyTensor)
+        assert isinstance(y, PendingTensor)
+        assert not y.is_ready()
+        assert _delta(before, "recorded_ops") == 3
+        assert _delta(before, "flushes") == 0
+
+    def test_shape_query_does_not_flush(self, lazy_mode):
+        y = repro.constant(np.zeros((4, 5), np.float32)) * 2.0
+        assert tuple(y.shape) == (4, 5)
+        assert not y.is_ready()
+
+    def test_observation_flushes_whole_segment(self, lazy_mode):
+        x = repro.constant([1.0, 2.0])
+        a = x * 2.0
+        b = a + 1.0
+        c = repro.exp(x)
+        np.testing.assert_allclose(b.numpy(), [3.0, 5.0])
+        # One flush settles every live record, not just the forced one.
+        assert a.is_ready() and c.is_ready()
+
+    def test_auto_flush_at_segment_cap(self, lazy_mode, monkeypatch):
+        monkeypatch.setenv("REPRO_LAZY_MAX_OPS", "4")
+        before = _snapshot()
+        y = repro.constant([1.0])
+        for _ in range(4):
+            y = y * 2.0
+        assert _delta(before, "flushes") == 1
+        assert y.is_ready()
+        np.testing.assert_allclose(y.numpy(), [16.0])
+
+    def test_stateful_ops_fall_back_to_sync_dispatch(self, lazy_mode):
+        before = _snapshot()
+        r = repro.random_normal([3])
+        assert not isinstance(r, LazyTensor)
+        assert _delta(before, "fallback_ops") >= 1
+
+    def test_side_effecting_op_flushes_recorded_work(self, lazy_mode):
+        v = repro.Variable([1.0, 2.0])
+        y = repro.constant([1.0, 1.0]) * 3.0
+        assert not y.is_ready()
+        v.assign([5.0, 6.0])  # side effects observe program order
+        assert y.is_ready()
+
+    def test_read_write_read_stays_ordered(self, lazy_mode):
+        v = repro.Variable([1.0])
+        a = v.read_value() * 2.0
+        v.assign([10.0])
+        b = v.read_value() * 2.0
+        np.testing.assert_allclose(a.numpy(), [2.0])
+        np.testing.assert_allclose(b.numpy(), [20.0])
+
+    def test_gradients_match_sync_mode(self):
+        def program(x):
+            return repro.reduce_sum(repro.tanh(x * x + 1.0))
+
+        x_np = np.array([0.5, -1.5, 2.0], np.float32)
+        grads = {}
+        for mode in ("sync", "lazy"):
+            with repro.execution_mode(mode):
+                x = repro.constant(x_np)
+                with repro.GradientTape() as tape:
+                    tape.watch(x)
+                    loss = program(x)
+                grads[mode] = tape.gradient(loss, x).numpy()
+        np.testing.assert_allclose(grads["lazy"], grads["sync"], rtol=1e-6)
+
+
+class TestSegmentCache:
+    @pytest.fixture(autouse=True)
+    def _fresh_segment_cache(self):
+        # These tests assert exact hit/miss/relaxation deltas, so they
+        # must not be served by artifacts other tests already compiled
+        # (the trace-hash cache is process-global).
+        lazy.reset_lazy_stats(clear_cache=True)
+
+    def test_repeated_segment_hits_trace_hash_cache(self, lazy_mode):
+        before = _snapshot()
+        for _ in range(3):
+            x = repro.constant(np.ones(8, np.float32))
+            (x * 2.0 + 1.0).numpy()
+        assert _delta(before, "flushes") == 3
+        assert _delta(before, "cache_hits") == 2
+
+    def test_shape_change_relaxes_after_threshold(self, lazy_mode):
+        # relax_retraces defaults to 1: the second distinct shape builds
+        # a relaxed (None-dimension) artifact; the third hits it.
+        before = _snapshot()
+        for n in (4, 5, 6):
+            x = repro.constant(np.ones(n, np.float32))
+            out = (x * 2.0 + 1.0).numpy()
+            np.testing.assert_allclose(out, np.full(n, 3.0))
+        assert _delta(before, "relaxed_segments") >= 1
+        assert _delta(before, "cache_relaxations") >= 1
+        assert _delta(before, "cache_hits") >= 1
+
+    def test_dead_recorded_work_is_elided(self, lazy_mode):
+        before = _snapshot()
+        x = repro.constant([1.0, 2.0])
+        y = x * 123.0  # never observed
+        del y
+        repro.sync()
+        assert _delta(before, "flushes") == 1
+        assert _delta(before, "dead_flushes") == 1
+
+    def test_flush_executes_fused_and_planned(self, lazy_mode):
+        # The whole point: an undecorated elementwise chain dispatches
+        # as a fused region when it runs at the flush.  Fusion is on by
+        # default, but force it so this holds on the fusion-off CI leg.
+        previous = context.graph_fusion
+        context.graph_fusion = True
+        try:
+            with repro.profiler.Profile() as prof:
+                x = repro.constant(np.ones(64, np.float32))
+                y = repro.tanh(x * 2.0 + 1.0)
+                repro.sync()
+            del y
+        finally:
+            context.graph_fusion = previous
+        assert prof.lazy_flushes >= 1
+        assert "FusedElementwise" in prof.ops
+        assert prof.fused_covered_ops >= 3
+        assert "lazy eager:" in prof.summary()
+
+
+class TestDeferredErrors:
+    def test_error_carries_op_name_and_type(self, lazy_mode):
+        x = repro.constant([1.0, 2.0, 3.0])
+        bad = repro.gather(x, repro.constant([7], dtype=repro.int32))
+        with pytest.raises(IndexError, match="Gather") as ei:
+            bad.numpy()
+        assert getattr(ei.value, "_repro_async_op", None) == "Gather"
+
+    def test_failed_tensor_keeps_raising(self, lazy_mode):
+        x = repro.constant([1.0])
+        bad = repro.gather(x, repro.constant([7], dtype=repro.int32))
+        for _ in range(2):
+            with pytest.raises(IndexError):
+                bad.numpy()
+
+    def test_sync_delivers_live_unobserved_error_once(self, lazy_mode):
+        x = repro.constant([1.0])
+        bad = repro.gather(x, repro.constant([9], dtype=repro.int32))
+        with pytest.raises(IndexError):
+            repro.sync()
+        repro.sync()  # delivered exactly once
+        del bad
+
+    def test_dependent_op_inherits_producer_error(self, lazy_mode):
+        x = repro.constant([1.0, 2.0])
+        bad = repro.gather(x, repro.constant([7], dtype=repro.int32))
+        dep = bad * 2.0 + 1.0
+        with pytest.raises(IndexError, match="Gather"):
+            dep.numpy()
+
+    def test_independent_ops_in_failed_segment_still_produce(self, lazy_mode):
+        x = repro.constant([1.0, 2.0])
+        good = x * 2.0
+        bad = repro.gather(x, repro.constant([7], dtype=repro.int32))
+        # Forcing the healthy value flushes the shared segment; the
+        # op-by-op replay gives it a real value despite the failure.
+        np.testing.assert_allclose(good.numpy(), [2.0, 4.0])
+        with pytest.raises(IndexError):
+            bad.numpy()
+
+    def test_tape_gradient_is_a_delivery_point(self, lazy_mode):
+        # Gradient computation flushes the recorded forward segment, so
+        # a recorded kernel error surfaces here, not mid-backward-sweep.
+        x = repro.constant([1.0, 2.0, 3.0])
+        with repro.GradientTape() as tape:
+            tape.watch(x)
+            bad = repro.gather(x, repro.constant([7], dtype=repro.int32))
+            loss = repro.reduce_sum(bad * 2.0)
+        with pytest.raises(IndexError, match="Gather"):
+            tape.gradient(loss, x)
+
+    def test_healthy_work_after_failure(self, lazy_mode):
+        x = repro.constant([1.0, 2.0])
+        with pytest.raises(IndexError):
+            repro.gather(x, repro.constant([7], dtype=repro.int32)).numpy()
+        np.testing.assert_allclose((x + x).numpy(), [2.0, 4.0])
