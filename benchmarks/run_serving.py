@@ -1,0 +1,230 @@
+#!/usr/bin/env python
+"""Serving benchmark: coalescing throughput and multi-tenant isolation.
+
+Two questions, answered with wall-clock numbers:
+
+1. **Coalescing throughput** — an open-loop generator floods one model
+   with single-example requests (submitting without waiting on
+   results, shedding load on backpressure).  How much throughput does
+   cross-request batching buy over the same server pinned to
+   ``max_batch=1``?  Target: >= 3x at saturation.
+2. **Isolation** — two models under identical concurrent load; model A
+   is then injected with persistent failures.  Does model B's p99
+   latency stay within 1.2x of its no-fault baseline?  Per-model
+   queues and workers say it must.
+
+Usage:
+    PYTHONPATH=src python benchmarks/run_serving.py [--quick]
+
+``--quick`` shrinks the load for CI smoke runs; it still asserts that
+coalescing actually occurred and that the isolation bound holds.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import threading
+import time
+
+sys.path.insert(0, ".")
+
+import numpy as np
+
+import repro
+from repro.distribute import FaultInjector
+from repro.framework.errors import ReproError, ResourceExhaustedError
+from repro.serving import ModelServer
+from repro.tensor import TensorSpec
+
+
+def export_model(path: str, hidden: int = 128, depth: int = 4) -> str:
+    """Save an MLP with a shape-polymorphic (None-batch) trace.
+
+    Deep enough that a staged call's per-node dispatch cost dominates a
+    single example's arithmetic — the overhead batching amortizes.
+    """
+    rng = np.random.default_rng(0)
+    dims = [64] + [hidden] * depth + [16]
+    weights = [
+        repro.Variable(
+            rng.standard_normal((dims[i], dims[i + 1])).astype(np.float32) * 0.1
+        )
+        for i in range(len(dims) - 1)
+    ]
+
+    @repro.function
+    def mlp(x):
+        for w in weights:
+            x = repro.tanh(repro.matmul(x, w))
+        return x
+
+    return repro.saved_function.save(mlp, path, TensorSpec([None, 64], repro.float32))
+
+
+def open_loop_flood(model, requests: int, example) -> tuple[float, dict]:
+    """Submit ``requests`` single-example requests open-loop; drain all.
+
+    The generator never waits on a result before submitting the next
+    request; on backpressure it backs off briefly and resubmits (an
+    open-loop client shedding load).  Returns (seconds, model stats).
+    """
+    futures = []
+    start = time.perf_counter()
+    for _ in range(requests):
+        while True:
+            try:
+                futures.append(model.submit(example))
+                break
+            except ResourceExhaustedError:
+                time.sleep(0.0005)
+    for future in futures:
+        future.result(timeout=60.0)
+    elapsed = time.perf_counter() - start
+    return elapsed, model.stats()
+
+
+def measure_coalescing(requests: int, rounds: int) -> tuple[float, float, dict]:
+    """(single_rps, coalesced_rps, coalesced_stats) at saturation.
+
+    Best-of-``rounds`` per configuration (min-window methodology): the
+    flood is scheduler-sensitive, and each configuration deserves its
+    best run.
+    """
+    path = export_model("/tmp/bench_serving_model")
+    # Pre-converted tensor: a serving front end deserializes the wire
+    # payload into a tensor once; submission should not re-convert.
+    example = repro.constant(
+        np.random.default_rng(1).standard_normal((1, 64)).astype(np.float32)
+    )
+
+    single_rps = 0.0
+    coalesced_rps = 0.0
+    stats = None
+    for _ in range(rounds):
+        with ModelServer(timeout_ms=None) as server:
+            single = server.load("single", path, max_batch=1, queue_depth=256)
+            single.predict(example)  # warm the plan outside the clock
+            seconds, _ = open_loop_flood(single, requests, example)
+            single_rps = max(single_rps, requests / seconds)
+
+        with ModelServer(timeout_ms=None) as server:
+            coalesced = server.load("coalesced", path, queue_depth=256)
+            coalesced.predict(example)
+            seconds, round_stats = open_loop_flood(coalesced, requests, example)
+            if requests / seconds > coalesced_rps:
+                coalesced_rps = requests / seconds
+                stats = round_stats
+    return single_rps, coalesced_rps, stats
+
+
+def closed_loop_clients(model, stop: threading.Event, clients: int, example):
+    """Background request loops; failures are counted, never raised."""
+    threads = []
+
+    def loop():
+        while not stop.is_set():
+            try:
+                model.predict(example)
+            except ReproError:
+                pass
+
+    for _ in range(clients):
+        t = threading.Thread(target=loop, daemon=True)
+        t.start()
+        threads.append(t)
+    return threads
+
+
+def measure_isolation(
+    seconds: float, clients: int, rounds: int
+) -> tuple[float, float, dict]:
+    """Model B's p99 without and with model A injected-failing.
+
+    Interleaved rounds with min-p99 per phase (the repo's min-window
+    methodology): thread-scheduling noise at the low-millisecond scale
+    would otherwise dominate the comparison.
+    """
+    path = export_model("/tmp/bench_serving_model")
+    example = repro.constant(
+        np.random.default_rng(2).standard_normal((1, 64)).astype(np.float32)
+    )
+
+    def run_phase(inject: bool) -> dict:
+        with ModelServer(timeout_ms=5000.0) as server:
+            a = server.load("a", path)
+            b = server.load("b", path)
+            a.predict(example)
+            b.predict(example)
+            chaos = FaultInjector(a) if inject else None
+            if chaos is not None:
+                chaos.fail()  # every request to A fails (after retries)
+            stop = threading.Event()
+            threads = closed_loop_clients(a, stop, clients, example)
+            threads += closed_loop_clients(b, stop, clients, example)
+            time.sleep(seconds)
+            stop.set()
+            for t in threads:
+                t.join(timeout=10.0)
+            if chaos is not None:
+                chaos.remove()
+            return {"a": a.stats(), "b": b.stats()}
+
+    base_p99 = float("inf")
+    fault_p99 = float("inf")
+    faulted = None
+    for _ in range(rounds):
+        base_p99 = min(base_p99, run_phase(inject=False)["b"]["p99_ms"])
+        result = run_phase(inject=True)
+        if result["b"]["p99_ms"] < fault_p99:
+            fault_p99 = result["b"]["p99_ms"]
+            faulted = result
+    return base_p99, fault_p99, faulted
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true", help="CI smoke sizes")
+    args = parser.parse_args()
+
+    requests = 400 if args.quick else 4000
+    iso_seconds = 1.5 if args.quick else 4.0
+    iso_clients = 4
+    iso_rounds = 1 if args.quick else 3
+    rps_rounds = 1 if args.quick else 3
+
+    print("== coalescing throughput (open-loop flood) ==")
+    single_rps, coalesced_rps, stats = measure_coalescing(requests, rps_rounds)
+    speedup = coalesced_rps / single_rps
+    print(f"max_batch=1   : {single_rps:10.0f} req/s")
+    print(
+        f"coalesced     : {coalesced_rps:10.0f} req/s  "
+        f"({speedup:.2f}x, mean batch {stats['mean_batch_size']:.1f}, "
+        f"largest {stats['max_batch_seen']})"
+    )
+    assert stats["max_batch_seen"] > 1, "no coalescing occurred at saturation"
+    if not args.quick:
+        assert speedup >= 3.0, f"coalescing speedup {speedup:.2f}x below 3x target"
+
+    print("\n== isolation (model A injected-failing) ==")
+    base_p99, fault_p99, faulted = measure_isolation(
+        iso_seconds, iso_clients, iso_rounds
+    )
+    ratio = fault_p99 / base_p99 if base_p99 else float("inf")
+    print(f"model B p99, no faults : {base_p99:8.2f} ms")
+    print(
+        f"model B p99, A failing : {fault_p99:8.2f} ms  ({ratio:.2f}x; "
+        f"A failed {faulted['a']['failed']} of "
+        f"{faulted['a']['submitted']} requests, "
+        f"B completed {faulted['b']['completed']})"
+    )
+    assert faulted["a"]["failed"] > 0, "fault injection did not take"
+    assert faulted["b"]["failed"] == 0, "healthy model saw failures"
+    assert ratio <= 1.2, f"neighbor p99 degraded {ratio:.2f}x (> 1.2x bound)"
+
+    print("\nall serving gates passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -164,5 +164,6 @@ from repro.core import (
 from repro.graph import Graph, GraphFunction
 from repro.core import saved_function
 from repro.runtime import profiler
+from repro import serving
 
 __version__ = "0.1.0"

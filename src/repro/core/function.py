@@ -483,6 +483,10 @@ def _leaf_key(leaf):
     """
     if isinstance(leaf, TensorBase):
         return ("tensor", leaf.dtype, leaf.shape)
+    if isinstance(leaf, TensorSpec):
+        # A spec leaf (get_concrete_function/save) keys exactly like a
+        # tensor of that abstract type, symbolic dims included.
+        return ("tensor", leaf.dtype, leaf.shape)
     if isinstance(leaf, Variable):
         return ("variable", id(leaf))
     if isinstance(leaf, np.ndarray):
@@ -495,7 +499,13 @@ def _leaf_key(leaf):
 
 
 def _is_tensor_leaf(leaf) -> bool:
-    return isinstance(leaf, (TensorBase, np.ndarray, Tensor))
+    # TensorSpec counts: a spec leaf stands in for a tensor argument at
+    # trace time (get_concrete_function with symbolic shapes).
+    return isinstance(leaf, (TensorBase, np.ndarray, Tensor, TensorSpec))
+
+
+def _contains_spec(structure) -> bool:
+    return any(isinstance(leaf, TensorSpec) for leaf in nest.flatten(structure))
 
 
 class _RelaxedTrace:
@@ -541,7 +551,6 @@ class Function:
         # steady-state call — all-positional eager tensors, no kwargs —
         # without flatten/bind/key construction (§4.6's lookup cost).
         self._fast_keys: dict = {}
-        self._last_route: Optional[tuple] = None
         self._stats = {
             "hits": 0,
             "misses": 0,
@@ -683,17 +692,17 @@ class Function:
                 concrete = self._lookup_fast(fast_key)
                 if concrete is not None:
                     return concrete(*args)
-        concrete, flat_tensors = self._maybe_trace(args, kwargs)
+        concrete, flat_tensors, route = self._maybe_trace(args, kwargs)
         if (
             fast_key is not None
-            and self._last_route is not None
+            and route is not None
             and len(flat_tensors) == len(args)
             and all(t is a for t, a in zip(flat_tensors, args))
         ):
             with self._lock:
                 if len(self._fast_keys) > _FAST_KEY_LIMIT:
                     self._fast_keys.clear()
-                self._fast_keys[fast_key] = self._last_route
+                self._fast_keys[fast_key] = route
         return concrete(*flat_tensors)
 
     @staticmethod
@@ -741,8 +750,58 @@ class Function:
             return concrete
 
     def get_concrete_function(self, *args, **kwargs) -> ConcreteFunction:
-        """The monomorphic function this call signature binds to."""
-        concrete, _ = self._maybe_trace(args, kwargs)
+        """The monomorphic function this call signature binds to.
+
+        Tensor arguments may be replaced by :class:`TensorSpec` leaves —
+        including symbolic (``None``-dimension) specs — to select or
+        force a shape-polymorphic trace without materializing example
+        data, e.g. for export via :func:`repro.saved_function.save`.
+        """
+        if _contains_spec(args) or _contains_spec(kwargs):
+            return self._concrete_from_specs(args, kwargs)
+        concrete, _, _ = self._maybe_trace(args, kwargs)
+        return concrete
+
+    def _concrete_from_specs(self, args, kwargs) -> ConcreteFunction:
+        """Trace (or fetch) the concrete function for spec-typed arguments.
+
+        TensorSpec leaves stand in for tensors at their declared
+        dtype/shape; any concrete tensor leaves mixed in are abstracted
+        to their specs.  A symbolic spec installs the resulting trace in
+        the relaxed cache level too, so later *calls* with compatible
+        concrete shapes are served by the same trace.
+        """
+        if self._input_signature is not None:
+            raise InvalidArgumentError(
+                f"Function {self._name!r} has an input_signature; call "
+                "get_concrete_function() without spec arguments"
+            )
+        args, kwargs = self._canonicalize(args, kwargs)
+        flat = nest.flatten((list(args), kwargs))
+        specs = []
+        for leaf in flat:
+            if isinstance(leaf, TensorSpec):
+                specs.append(leaf)
+            elif _is_tensor_leaf(leaf):
+                t = leaf if isinstance(leaf, TensorBase) else convert_to_tensor(leaf)
+                specs.append(TensorSpec.from_tensor(t))
+        key = self._cache_key(flat)
+        with self._lock:
+            self._call_index += 1
+            concrete = self._cache.get(key)
+            if concrete is not None:
+                self._cache.move_to_end(key)
+                self._stats["hits"] += 1
+                return concrete
+            self._stats["misses"] += 1
+            concrete = self._trace(args, kwargs, [], override_specs=specs)
+            self._insert_exact(key, concrete)
+            self._last_trace_key = key
+            if any(not s.is_fully_defined for s in specs):
+                pk = self._pattern_key(key)
+                if pk not in self._relaxed:
+                    self._relaxed[pk] = _RelaxedTrace(list(specs), concrete)
+                    self._stats["relaxations"] += 1
         return concrete
 
     # -- binding-time analysis ----------------------------------------------
@@ -761,6 +820,12 @@ class Function:
         flat = nest.flatten((list(args), kwargs))
         tensor_leaves = []
         for leaf in flat:
+            if isinstance(leaf, TensorSpec):
+                raise InvalidArgumentError(
+                    f"Function {self._name!r} was called with a TensorSpec "
+                    f"argument ({leaf}); specs select traces via "
+                    "get_concrete_function()/save(), they cannot be executed"
+                )
             if _is_tensor_leaf(leaf):
                 tensor_leaves.append(
                     leaf
@@ -800,7 +865,14 @@ class Function:
         return context.relax_shapes
 
     def _maybe_trace(self, args, kwargs):
-        self._last_route = None
+        """Resolve a call to ``(concrete, tensor_leaves, route)``.
+
+        ``route`` names the cache slot that served the call (for the
+        level-0 fast-key map) or is None when the call is not routable.
+        It is *returned*, never stored on the instance: concurrent
+        callers each get their own route, so one thread's miss cannot
+        cross-wire another thread's fast-key recording.
+        """
         args, kwargs = self._canonicalize(args, kwargs)
         if self._input_signature is not None:
             return self._trace_with_signature(args, kwargs)
@@ -813,21 +885,18 @@ class Function:
                 self._cache.move_to_end(key)
                 self._stats["hits"] += 1
                 self._recent_traces.append(False)
-                self._last_route = ("exact", key)
-                return concrete, tensor_leaves
-            if self._relax_enabled():
+                return concrete, tensor_leaves, ("exact", key)
+            if self._relax_enabled() or self._relaxed:
                 concrete = self._lookup_relaxed(key, args, kwargs, tensor_leaves)
                 if concrete is not None:
-                    self._last_route = ("relaxed", self._pattern_key(key))
-                    return concrete, tensor_leaves
+                    return concrete, tensor_leaves, ("relaxed", self._pattern_key(key))
             self._stats["misses"] += 1
             self._recent_traces.append(True)
             self._maybe_warn_retrace(key)
             concrete = self._trace(args, kwargs, tensor_leaves)
             self._insert_exact(key, concrete)
             self._last_trace_key = key
-            self._last_route = ("exact", key)
-        return concrete, tensor_leaves
+        return concrete, tensor_leaves, ("exact", key)
 
     def _lookup_relaxed(
         self, key, args, kwargs, tensor_leaves
@@ -841,13 +910,18 @@ class Function:
         pk = self._pattern_key(key)
         entry = self._relaxed.get(pk)
         if entry is not None:
-            if all(
+            if len(tensor_leaves) == len(entry.specs) and all(
                 t.shape.is_subtype_of(spec.shape)
                 for t, spec in zip(tensor_leaves, entry.specs)
             ):
                 self._stats["hits"] += 1
                 self._recent_traces.append(False)
                 return entry.concrete
+            if not self._relax_enabled():
+                # The entry was installed explicitly (a symbolic
+                # get_concrete_function); incompatible shapes take a
+                # normal exact trace rather than widening it.
+                return None
             # Incompatible with the current symbolic specs (e.g. a dim
             # that had been stable so far started varying): widen and
             # retrace once; the evicted trace releases its artifacts.
@@ -862,6 +936,8 @@ class Function:
             self._relaxed[pk] = _RelaxedTrace(widened, concrete)
             self._stats["relaxations"] += 1
             return concrete
+        if not self._relax_enabled():
+            return None
         seen = self._pattern_seen.get(pk)
         current = [TensorSpec.from_tensor(t) for t in tensor_leaves]
         if seen is None:
@@ -952,7 +1028,7 @@ class Function:
             else:
                 self._cache.move_to_end(key)
                 self._stats["hits"] += 1
-        return concrete, tensors
+        return concrete, tensors, None
 
     # -- tracing -----------------------------------------------------------
     def _trace(

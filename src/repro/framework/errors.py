@@ -20,6 +20,7 @@ __all__ = [
     "UnavailableError",
     "DeadlineExceededError",
     "AbortedError",
+    "ResourceExhaustedError",
 ]
 
 
@@ -80,4 +81,14 @@ class AbortedError(ReproError, RuntimeError):
     Maps to gRPC's ``ABORTED``: a transient server-side condition (a
     conflict, an injected fault) interrupted the request.  Idempotent
     operations are safe to retry.
+    """
+
+
+class ResourceExhaustedError(ReproError, RuntimeError):
+    """A bounded resource (a serving queue, a memory budget) is full.
+
+    Maps to gRPC's ``RESOURCE_EXHAUSTED``.  Raised by admission control
+    when accepting more work would grow an explicitly bounded resource:
+    the caller should shed load or retry after backing off, not simply
+    retry immediately.
     """

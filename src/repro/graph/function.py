@@ -12,6 +12,7 @@ compilation (XLA compiles one function into one accelerator program).
 
 from __future__ import annotations
 
+import threading
 from typing import Optional, Sequence
 
 from repro.framework.errors import InvalidArgumentError
@@ -70,6 +71,7 @@ class GraphFunction:
         self.input_specs = [TensorSpec(t.shape, t.dtype) for t in self.inputs]
         self.output_specs = [TensorSpec(t.shape, t.dtype) for t in self.outputs]
         self._runner = None
+        self._plan_lock = threading.Lock()
 
     @property
     def contains_py_func(self) -> bool:
@@ -93,7 +95,13 @@ class GraphFunction:
 
         runner = self._runner
         if runner is None:
-            runner = self._runner = GraphRunner(self.graph, self.outputs)
+            # Double-checked: concurrent first callers (serving worker
+            # threads sharing one LoadedFunction) must agree on a single
+            # plan rather than racing two half-built ones.
+            with self._plan_lock:
+                runner = self._runner
+                if runner is None:
+                    runner = self._runner = GraphRunner(self.graph, self.outputs)
         return runner
 
     def release_plan(self) -> None:

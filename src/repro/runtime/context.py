@@ -80,6 +80,9 @@ class Context:
         self._relax_retraces = self._relax_retraces_from_env()
         self._trace_cache_size = self._trace_cache_size_from_env()
         self._graph_fusion = self._graph_fusion_from_env()
+        self._serving_max_batch = self._serving_max_batch_from_env()
+        self._serving_queue_depth = self._serving_queue_depth_from_env()
+        self._serving_timeout_ms = self._serving_timeout_from_env()
         self._initialize_local_devices(num_gpus=num_gpus, num_tpus=num_tpus)
 
     @staticmethod
@@ -173,6 +176,47 @@ class Context:
                 f"REPRO_TRACE_CACHE_SIZE must be >= 1, got {value}"
             )
         return value
+
+    @staticmethod
+    def _serving_max_batch_from_env() -> int:
+        raw = os.environ.get("REPRO_SERVING_MAX_BATCH", "32")
+        try:
+            value = int(raw)
+        except ValueError:
+            raise InvalidArgumentError(
+                f"REPRO_SERVING_MAX_BATCH must be an integer, got {raw!r}"
+            ) from None
+        if value < 1:
+            raise InvalidArgumentError(
+                f"REPRO_SERVING_MAX_BATCH must be >= 1, got {value}"
+            )
+        return value
+
+    @staticmethod
+    def _serving_queue_depth_from_env() -> int:
+        raw = os.environ.get("REPRO_SERVING_QUEUE_DEPTH", "128")
+        try:
+            value = int(raw)
+        except ValueError:
+            raise InvalidArgumentError(
+                f"REPRO_SERVING_QUEUE_DEPTH must be an integer, got {raw!r}"
+            ) from None
+        if value < 1:
+            raise InvalidArgumentError(
+                f"REPRO_SERVING_QUEUE_DEPTH must be >= 1, got {value}"
+            )
+        return value
+
+    @staticmethod
+    def _serving_timeout_from_env() -> Optional[float]:
+        raw = os.environ.get("REPRO_SERVING_TIMEOUT_MS", "1000")
+        try:
+            value = float(raw)
+        except ValueError:
+            raise InvalidArgumentError(
+                f"REPRO_SERVING_TIMEOUT_MS must be a number, got {raw!r}"
+            ) from None
+        return value if value > 0 else None
 
     # -- placement / execution knobs --------------------------------------
     @property
@@ -374,6 +418,62 @@ class Context:
                     f"rpc_deadline_ms must be positive or None, got {value}"
                 )
         self._rpc_deadline_ms = value
+
+    @property
+    def serving_max_batch(self) -> int:
+        """Largest coalesced batch a serving worker assembles per call.
+
+        Initialised from ``REPRO_SERVING_MAX_BATCH`` (default 32).
+        """
+        return self._serving_max_batch
+
+    @serving_max_batch.setter
+    def serving_max_batch(self, value: int) -> None:
+        value = int(value)
+        if value < 1:
+            raise InvalidArgumentError(
+                f"serving_max_batch must be >= 1, got {value}"
+            )
+        self._serving_max_batch = value
+
+    @property
+    def serving_queue_depth(self) -> int:
+        """Bound on each served model's pending-request queue.
+
+        Initialised from ``REPRO_SERVING_QUEUE_DEPTH`` (default 128).
+        Submissions past the bound are rejected with
+        :class:`~repro.framework.errors.ResourceExhaustedError` —
+        admission control rather than unbounded memory growth.
+        """
+        return self._serving_queue_depth
+
+    @serving_queue_depth.setter
+    def serving_queue_depth(self, value: int) -> None:
+        value = int(value)
+        if value < 1:
+            raise InvalidArgumentError(
+                f"serving_queue_depth must be >= 1, got {value}"
+            )
+        self._serving_queue_depth = value
+
+    @property
+    def serving_timeout_ms(self) -> Optional[float]:
+        """Per-request serving deadline, queue wait included.
+
+        Initialised from ``REPRO_SERVING_TIMEOUT_MS`` (default 1000).
+        ``None`` (or a non-positive env value) disables deadlines.
+        """
+        return self._serving_timeout_ms
+
+    @serving_timeout_ms.setter
+    def serving_timeout_ms(self, value: Optional[float]) -> None:
+        if value is not None:
+            value = float(value)
+            if value <= 0:
+                raise InvalidArgumentError(
+                    f"serving_timeout_ms must be positive or None, got {value}"
+                )
+        self._serving_timeout_ms = value
 
     # -- devices -----------------------------------------------------------
     def _initialize_local_devices(self, num_gpus: int, num_tpus: int) -> None:

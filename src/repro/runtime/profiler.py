@@ -26,7 +26,7 @@ from typing import Optional
 
 from repro.runtime import dispatch
 
-__all__ = ["Profile", "active", "record"]
+__all__ = ["Profile", "LatencyHistogram", "active", "record"]
 
 # The currently active profiler, or None.  Read on the hot path.
 active: Optional["Profile"] = None
@@ -69,6 +69,68 @@ class OpStats:
     @property
     def mean_us(self) -> float:
         return 0.0 if not self.count else self.total_seconds / self.count * 1e6
+
+
+class LatencyHistogram:
+    """Sliding-window latency percentiles for SLO accounting.
+
+    Keeps the most recent ``window`` samples (seconds) and answers
+    percentile queries over them — the serving layer's per-model
+    p50/p99.  A bounded window rather than full history: an SLO is a
+    statement about *current* behaviour, and a fault injected ten
+    minutes ago must eventually stop dominating p99.  Thread-safe;
+    ``add`` is O(1) on the submit/settle hot path, percentile queries
+    sort on demand.
+    """
+
+    __slots__ = ("_samples", "_count", "_total", "_lock")
+
+    def __init__(self, window: int = 8192) -> None:
+        import collections
+
+        self._samples: "collections.deque[float]" = collections.deque(maxlen=window)
+        self._count = 0
+        self._total = 0.0
+        self._lock = threading.Lock()
+
+    def add(self, seconds: float) -> None:
+        with self._lock:
+            self._samples.append(seconds)
+            self._count += 1
+            self._total += seconds
+
+    @property
+    def count(self) -> int:
+        """Lifetime sample count (not capped by the window)."""
+        return self._count
+
+    @property
+    def mean_ms(self) -> float:
+        with self._lock:
+            return 0.0 if not self._count else self._total / self._count * 1e3
+
+    def percentile(self, p: float) -> float:
+        """The ``p``-th percentile (0..100) over the window, in seconds."""
+        if not 0 <= p <= 100:
+            raise ValueError(f"percentile must be in [0, 100], got {p}")
+        with self._lock:
+            ordered = sorted(self._samples)
+        if not ordered:
+            return 0.0
+        rank = (len(ordered) - 1) * p / 100.0
+        lo = int(rank)
+        hi = min(lo + 1, len(ordered) - 1)
+        frac = rank - lo
+        return ordered[lo] * (1.0 - frac) + ordered[hi] * frac
+
+    def snapshot(self) -> dict:
+        """``{count, mean_ms, p50_ms, p99_ms}`` over the current window."""
+        return {
+            "count": self.count,
+            "mean_ms": self.mean_ms,
+            "p50_ms": self.percentile(50.0) * 1e3,
+            "p99_ms": self.percentile(99.0) * 1e3,
+        }
 
 
 class Profile:

@@ -1,0 +1,137 @@
+"""Cross-request coalescing: concat on the leading dim, split back.
+
+The batching contract is structural, not semantic: two requests are
+*compatible* when every argument pair agrees on dtype and on all
+dimensions past the leading one, and every argument is at least rank 1
+(there is no leading dimension to concatenate a scalar along).  The
+serving worker concatenates compatible requests into one call on the
+shape-polymorphic trace and splits each output leaf back by the
+recorded per-request sizes.
+
+Outputs that do not carry the batch dimension — a scalar reduction, a
+weight readout — make the result unsplittable; the worker detects this
+(:class:`NotSplittableError`) and falls back to per-request execution,
+so such models still serve correctly, just without coalescing.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.framework import nest
+from repro.framework.errors import InvalidArgumentError
+from repro.tensor import Tensor, TensorBase, convert_to_tensor
+
+__all__ = [
+    "NotSplittableError",
+    "request_signature",
+    "coalesce_requests",
+    "split_results",
+]
+
+
+class NotSplittableError(Exception):
+    """An output leaf does not carry the coalesced leading dimension."""
+
+
+def request_signature(tensors: Sequence[TensorBase]):
+    """The compatibility key for one request's converted arguments.
+
+    Returns ``None`` when the request cannot be coalesced at all (no
+    arguments, a rank-0 argument, or arguments that disagree on the
+    leading size); otherwise ``(leading, ((dtype, trailing), ...))``
+    minus the leading size — requests coalesce iff their signatures
+    compare equal.
+    """
+    if not tensors:
+        return None
+    parts = []
+    leading = None
+    for t in tensors:
+        shape = t.shape.as_tuple()
+        if len(shape) == 0 or shape[0] is None:
+            return None
+        if leading is None:
+            leading = shape[0]
+        elif shape[0] != leading:
+            # Arguments sized differently along axis 0 (e.g. a lookup
+            # table passed per request): no single batch dim to extend.
+            return None
+        parts.append((t.dtype, shape[1:]))
+    return tuple(parts)
+
+
+def leading_size(tensors: Sequence[TensorBase]) -> int:
+    """The shared leading dimension of one coalescible request."""
+    return int(tensors[0].shape.as_tuple()[0])
+
+
+def coalesce_requests(request_args: Sequence[Sequence[TensorBase]]):
+    """Concatenate compatible requests' arguments along axis 0.
+
+    Args:
+        request_args: one argument list per request; all must share a
+            :func:`request_signature`.
+
+    Returns:
+        ``(merged_args, sizes)`` — the coalesced tensor arguments and
+        each request's contribution to the leading dimension, in order.
+    """
+    if not request_args:
+        raise InvalidArgumentError("coalesce_requests needs at least one request")
+    if len(request_args) == 1:
+        return list(request_args[0]), [leading_size(request_args[0])]
+    sizes = [leading_size(args) for args in request_args]
+    merged = []
+    for pos in range(len(request_args[0])):
+        column = [np.asarray(args[pos].numpy()) for args in request_args]
+        stacked = np.concatenate(column, axis=0)
+        merged.append(convert_to_tensor(stacked, dtype=request_args[0][pos].dtype))
+    return merged, sizes
+
+
+def split_results(result, sizes: Sequence[int]):
+    """Split one batched result structure back into per-request results.
+
+    Every tensor leaf must have the summed leading dimension; the
+    per-request structures mirror the batched structure.  Raises
+    :class:`NotSplittableError` when any leaf lacks the batch dim —
+    the caller re-executes per request instead.
+    """
+    total = sum(sizes)
+    flat = nest.flatten(result) if nest.is_nested(result) else [result]
+    offsets = np.cumsum([0] + list(sizes))
+    split_leaves = []
+    for leaf in flat:
+        if leaf is None:
+            split_leaves.append([None] * len(sizes))
+            continue
+        if not isinstance(leaf, TensorBase):
+            raise NotSplittableError(f"non-tensor output leaf {leaf!r}")
+        arr = np.asarray(leaf.numpy())
+        if arr.ndim == 0 or arr.shape[0] != total:
+            raise NotSplittableError(
+                f"output leaf of shape {arr.shape} does not carry the "
+                f"coalesced leading dimension {total}"
+            )
+        # Axis-0 slices of a C-contiguous buffer are contiguous views:
+        # wrap them without copying (the batched buffer outlives the
+        # responses that reference it).
+        device = leaf.device_object
+        dtype = leaf.dtype
+        split_leaves.append(
+            [
+                Tensor._from_buffer(arr[offsets[i] : offsets[i + 1]], dtype, device)
+                for i in range(len(sizes))
+            ]
+        )
+    per_request = []
+    for i in range(len(sizes)):
+        leaves_i = iter(sl[i] for sl in split_leaves)
+        if nest.is_nested(result):
+            per_request.append(nest.map_structure(lambda _: next(leaves_i), result))
+        else:
+            per_request.append(next(leaves_i))
+    return per_request

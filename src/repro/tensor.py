@@ -485,9 +485,13 @@ class LazyTensor(PendingTensor):
     def _resolve_output(self, handle) -> "Tensor":
         trace = self._trace
         if trace is not None:
-            self._trace = None
             if not handle.done():
                 trace.flush()
+            # Clear the trace reference only after flush() returns: a
+            # concurrent observer that reads a None trace must find the
+            # handle settled, not a flush still in flight on this
+            # thread (flush itself is idempotent and lock-serialized).
+            self._trace = None
         return handle.output(self._index)
 
     @property

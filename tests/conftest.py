@@ -61,6 +61,9 @@ def _reset_context_knobs():
     context._relax_retraces = Context._relax_retraces_from_env()
     context._trace_cache_size = Context._trace_cache_size_from_env()
     context._graph_fusion = Context._graph_fusion_from_env()
+    context._serving_max_batch = Context._serving_max_batch_from_env()
+    context._serving_queue_depth = Context._serving_queue_depth_from_env()
+    context._serving_timeout_ms = Context._serving_timeout_from_env()
     # Interceptors registered during the test and never unregistered.
     for it in tuple(dispatch.core._interceptors):
         if it not in interceptors_before:

@@ -1,0 +1,143 @@
+"""Tracing from TensorSpecs: symbolic concrete functions and export.
+
+Regression suite for the polymorphic-export bug: ``save()`` with a
+``TensorSpec([None, d])`` example must produce an artifact whose graph
+keeps the symbolic leading dimension, so the loaded function serves any
+batch size — the contract the serving layer's coalescer relies on.
+"""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.core import saved_function
+from repro.framework.errors import InvalidArgumentError
+from repro.tensor import TensorSpec
+
+
+class TestGetConcreteFromSpec:
+    def test_spec_traces_symbolically(self):
+        @repro.function
+        def f(x):
+            return repro.reduce_sum(x, axis=1)
+
+        concrete = f.get_concrete_function(
+            TensorSpec([None, 4], repro.float32)
+        )
+        for n in (1, 3, 8):
+            x = repro.constant(np.ones((n, 4), dtype=np.float32))
+            np.testing.assert_allclose(
+                concrete(x).numpy(), np.full(n, 4.0, dtype=np.float32)
+            )
+
+    def test_spec_trace_serves_later_concrete_calls(self):
+        # The symbolic trace is installed in the relaxed cache level:
+        # plain calls at any batch size reuse it instead of retracing.
+        @repro.function
+        def f(x):
+            return x * 2.0
+
+        f.get_concrete_function(TensorSpec([None, 3], repro.float32))
+        traces_before = f.cache_stats()["traces"]
+        for n in (2, 5, 9):
+            x = repro.constant(np.ones((n, 3), dtype=np.float32))
+            np.testing.assert_allclose(
+                f(x).numpy(), np.full((n, 3), 2.0, dtype=np.float32)
+            )
+        assert f.cache_stats()["traces"] == traces_before
+
+    def test_fully_defined_spec_caches_exact(self):
+        @repro.function
+        def f(x):
+            return x + 1.0
+
+        concrete = f.get_concrete_function(TensorSpec([2, 2], repro.float32))
+        x = repro.constant(np.zeros((2, 2), dtype=np.float32))
+        np.testing.assert_allclose(concrete(x).numpy(), np.ones((2, 2)))
+        # The direct call reuses the spec-traced concrete function.
+        traces_before = f.cache_stats()["traces"]
+        f(x)
+        assert f.cache_stats()["traces"] == traces_before
+
+    def test_calling_with_spec_rejected(self):
+        @repro.function
+        def f(x):
+            return x + 1.0
+
+        with pytest.raises(InvalidArgumentError):
+            f(TensorSpec([None, 2], repro.float32))
+
+    def test_spec_with_input_signature_rejected(self):
+        @repro.function(
+            input_signature=[TensorSpec([None, 2], repro.float32)]
+        )
+        def f(x):
+            return x + 1.0
+
+        with pytest.raises(InvalidArgumentError):
+            f.get_concrete_function(TensorSpec([None, 2], repro.float32))
+
+
+class TestPolymorphicExport:
+    def test_save_with_spec_roundtrips_any_batch(self, tmp_path):
+        w = repro.Variable(
+            np.random.default_rng(3)
+            .standard_normal((4, 2))
+            .astype(np.float32)
+        )
+
+        @repro.function
+        def f(x):
+            return repro.matmul(x, w)
+
+        path = saved_function.save(
+            f, str(tmp_path / "m"), TensorSpec([None, 4], repro.float32)
+        )
+        loaded = saved_function.load(path)
+        for n in (1, 3, 8):
+            x_np = np.random.default_rng(n).standard_normal((n, 4)).astype(
+                np.float32
+            )
+            np.testing.assert_allclose(
+                loaded(repro.constant(x_np)).numpy(),
+                x_np @ w.numpy(),
+                rtol=1e-5,
+            )
+
+    def test_loaded_input_spec_keeps_symbolic_dim(self, tmp_path):
+        @repro.function
+        def f(x):
+            return x * 3.0
+
+        path = saved_function.save(
+            f, str(tmp_path / "m"), TensorSpec([None, 2], repro.float32)
+        )
+        loaded = saved_function.load(path)
+        spec = loaded.input_specs[0]
+        assert spec.shape.as_tuple()[0] is None
+
+    def test_save_with_concrete_example_stays_fixed(self, tmp_path):
+        # The old behavior remains for concrete examples: the exported
+        # graph is specialized to the example's shape.
+        @repro.function
+        def f(x):
+            return x * 3.0
+
+        x = repro.constant(np.ones((2, 2), dtype=np.float32))
+        path = saved_function.save(f, str(tmp_path / "m"), x)
+        loaded = saved_function.load(path)
+        assert loaded.input_specs[0].shape.as_tuple() == (2, 2)
+
+    def test_polymorphic_roundtrip_with_structured_output(self, tmp_path):
+        @repro.function
+        def f(x):
+            return {"sum": repro.reduce_sum(x, axis=1), "twice": x * 2.0}
+
+        path = saved_function.save(
+            f, str(tmp_path / "m"), TensorSpec([None, 3], repro.float32)
+        )
+        loaded = saved_function.load(path)
+        x_np = np.arange(6, dtype=np.float32).reshape(2, 3)
+        out = loaded(repro.constant(x_np))
+        np.testing.assert_allclose(out["sum"].numpy(), x_np.sum(axis=1))
+        np.testing.assert_allclose(out["twice"].numpy(), x_np * 2.0)

@@ -1,0 +1,94 @@
+"""The coalescing contract: signatures, concat, and splitting back."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.framework.errors import InvalidArgumentError
+from repro.serving import batching
+
+
+def t(arr, dtype=np.float32):
+    return repro.constant(np.asarray(arr, dtype=dtype))
+
+
+class TestRequestSignature:
+    def test_compatible_requests_share_a_signature(self):
+        a = batching.request_signature([t(np.zeros((2, 4)))])
+        b = batching.request_signature([t(np.ones((7, 4)))])
+        assert a == b  # leading size excluded: any batch coalesces
+
+    def test_dtype_mismatch_differs(self):
+        a = batching.request_signature([t(np.zeros((2, 4)))])
+        b = batching.request_signature([t(np.zeros((2, 4)), dtype=np.float64)])
+        assert a != b
+
+    def test_trailing_shape_mismatch_differs(self):
+        a = batching.request_signature([t(np.zeros((2, 4)))])
+        b = batching.request_signature([t(np.zeros((2, 5)))])
+        assert a != b
+
+    def test_rank0_is_uncoalescible(self):
+        assert batching.request_signature([t(3.0)]) is None
+
+    def test_no_args_is_uncoalescible(self):
+        assert batching.request_signature([]) is None
+
+    def test_disagreeing_leading_dims_uncoalescible(self):
+        # e.g. an example batch plus a per-request lookup table.
+        sig = batching.request_signature(
+            [t(np.zeros((2, 4))), t(np.zeros((9, 4)))]
+        )
+        assert sig is None
+
+    def test_multi_arg_signature(self):
+        a = batching.request_signature([t(np.zeros((3, 4))), t(np.zeros((3, 2)))])
+        b = batching.request_signature([t(np.zeros((5, 4))), t(np.zeros((5, 2)))])
+        assert a == b
+
+
+class TestCoalesceSplit:
+    def test_roundtrip(self):
+        reqs = [
+            [t(np.full((2, 3), 1.0))],
+            [t(np.full((1, 3), 2.0))],
+            [t(np.full((4, 3), 3.0))],
+        ]
+        merged, sizes = batching.coalesce_requests(reqs)
+        assert sizes == [2, 1, 4]
+        assert merged[0].shape.as_tuple() == (7, 3)
+        parts = batching.split_results(merged[0], sizes)
+        for part, req in zip(parts, reqs):
+            np.testing.assert_array_equal(part.numpy(), req[0].numpy())
+
+    def test_split_is_zero_copy(self):
+        merged = t(np.arange(12, dtype=np.float32).reshape(6, 2))
+        parts = batching.split_results(merged, [2, 4])
+        base = merged.numpy()
+        for part in parts:
+            view = part.numpy()
+            assert view.base is base or view.base is base.base
+
+    def test_split_nested_structure(self):
+        result = {"y": t(np.zeros((5, 2))), "z": (t(np.ones((5,))), None)}
+        parts = batching.split_results(result, [2, 3])
+        assert parts[0]["y"].shape.as_tuple() == (2, 2)
+        assert parts[1]["z"][0].shape.as_tuple() == (3,)
+        assert parts[0]["z"][1] is None
+
+    def test_scalar_output_not_splittable(self):
+        with pytest.raises(batching.NotSplittableError):
+            batching.split_results(t(7.0), [1, 1])
+
+    def test_wrong_leading_dim_not_splittable(self):
+        with pytest.raises(batching.NotSplittableError):
+            batching.split_results(t(np.zeros((3, 2))), [2, 2])
+
+    def test_empty_batch_rejected(self):
+        with pytest.raises(InvalidArgumentError):
+            batching.coalesce_requests([])
+
+    def test_single_request_passthrough(self):
+        x = t(np.zeros((3, 2)))
+        merged, sizes = batching.coalesce_requests([[x]])
+        assert merged[0] is x and sizes == [3]
