@@ -87,37 +87,33 @@ def train_tree_rnn() -> None:
 # ---------------------------------------------------------------------------
 
 def staged_control_flow() -> None:
-    print("\n== staged data-dependent control flow ==")
+    print("\n== staged data-dependent control flow (autograph) ==")
 
+    # Plain Python control flow over tensor values: autograph rewrites
+    # the `while` / `if` onto the staged While / Cond ops at trace time,
+    # so no manual `repro.while_loop` / `repro.cond` threading is needed.
     @repro.function
     def newton_sqrt(target):
         """sqrt via Newton iteration with a data-dependent trip count."""
-
-        def not_converged(estimate):
-            return repro.reduce_sum(repro.abs(estimate * estimate - target)) > 1e-6
-
-        def refine(estimate):
-            return ((estimate + target / estimate) * 0.5,)
-
-        (root,) = repro.while_loop(not_converged, refine, (target * 0.5 + 0.5,))
-        return root
+        estimate = target * 0.5 + 0.5
+        while repro.reduce_sum(repro.abs(estimate * estimate - target)) > 1e-6:
+            estimate = (estimate + target / estimate) * 0.5
+        return estimate
 
     for value in (4.0, 2.0, 9.0):
         out = float(newton_sqrt(repro.constant(value)))
         print(f"  sqrt({value}) = {out:.6f}")
-    print(f"  while_loop kept the graph constant-size: "
+    print(f"  the lowered while kept the graph constant-size: "
           f"{newton_sqrt.trace_count} trace(s)")
 
     @repro.function
     def leaky_or_relu(x, threshold):
-        return repro.cond(
-            repro.reduce_mean(repro.abs(x)) > threshold,
-            lambda: repro.ops.nn_ops.leaky_relu(x, 0.1),
-            lambda: repro.ops.nn_ops.relu(x),
-        )
+        if repro.reduce_mean(repro.abs(x)) > threshold:
+            return repro.ops.nn_ops.leaky_relu(x, 0.1)
+        return repro.ops.nn_ops.relu(x)
 
     x = repro.constant([-2.0, 3.0])
-    print("  cond picks a branch from tensor data:",
+    print("  a lowered `if` picks a branch from tensor data:",
           leaky_or_relu(x, repro.constant(10.0)).numpy(),
           leaky_or_relu(x, repro.constant(0.1)).numpy())
 

@@ -163,6 +163,9 @@ from repro.core import (
 
 from repro.graph import Graph, GraphFunction
 from repro.core import saved_function
+from repro import autograph
+from repro.autograph import AutographError
+from repro.tensor import TraceSpecializationWarning
 from repro.runtime import profiler
 from repro import serving
 

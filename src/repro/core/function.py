@@ -528,8 +528,14 @@ class Function:
         input_signature: Optional[Sequence[TensorSpec]] = None,
         jit_compile: bool = False,
         experimental_relax_shapes: Optional[bool] = None,
+        autograph: Optional[bool] = None,
     ) -> None:
         self._python_function = python_function
+        self._autograph = autograph
+        # Converted lazily on the first trace (the knob may change
+        # between construction and first call), then cached: conversion
+        # parses and recompiles source, which must not re-run per trace.
+        self._converted_function: Optional[Callable] = None
         self._jit_compile = bool(jit_compile)
         self._name = name or getattr(python_function, "__name__", "fn")
         self._input_signature = (
@@ -1063,13 +1069,26 @@ class Function:
                 )
         return concrete
 
+    def _traced_callable(self) -> Callable:
+        """The function to trace: autograph-converted unless opted out."""
+        enabled = (
+            self._autograph if self._autograph is not None else context.autograph
+        )
+        if not enabled:
+            return self._python_function
+        if self._converted_function is None:
+            from repro.autograph import convert
+
+            self._converted_function = convert(self._python_function)
+        return self._converted_function
+
     def _trace_once(self, args, kwargs, specs) -> ConcreteFunction:
         self._trace_count += 1
         self._stats["traces"] += 1
         marked_args, marked_kwargs = self._mark_tensors(args, kwargs)
         name = f"{self._name}_{context.unique_id()}"
         graph, flat_outputs, structure = self._pipeline.trace(
-            self._python_function,
+            self._traced_callable(),
             specs,
             name=name,
             structured_args=(marked_args, marked_kwargs),
@@ -1109,6 +1128,7 @@ def function(
     name: Optional[str] = None,
     jit_compile: bool = False,
     experimental_relax_shapes: Optional[bool] = None,
+    autograph: Optional[bool] = None,
 ):
     """Decorator staging a Python function as graph functions (§4.1, §4.6).
 
@@ -1146,6 +1166,7 @@ def function(
             input_signature=input_signature,
             jit_compile=jit_compile,
             experimental_relax_shapes=experimental_relax_shapes,
+            autograph=autograph,
         )
 
     def decorator(f: Callable) -> Function:
@@ -1155,6 +1176,7 @@ def function(
             input_signature=input_signature,
             jit_compile=jit_compile,
             experimental_relax_shapes=experimental_relax_shapes,
+            autograph=autograph,
         )
 
     return decorator

@@ -177,24 +177,29 @@ class RNN(Model):
         if not self.cell.built:
             self.cell((x[:, 0], state), training=training)
 
-        n_state = len(state)
+        cell = self.cell
 
-        def cond(step, *rest):
-            return step < steps
+        def scan(x, state):
+            step = array_ops.constant(0)
+            acc = list_ops.empty_tensor_list()
+            while step < steps:
+                frame = array_ops.gather(x, step, axis=1)
+                out, state = cell((frame, tuple(state)), training=training)
+                acc = list_ops.tensor_list_push_back(acc, out)
+                step = step + 1
+            return acc, state
 
-        def body(step, acc, *state_parts):
-            frame = array_ops.gather(x, step, axis=1)
-            out, new_state = self.cell((frame, tuple(state_parts)), training=training)
-            acc = list_ops.tensor_list_push_back(acc, out)
-            return (step + 1, acc) + tuple(new_state)
+        # When tracing, autograph lowers the tensor-bounded ``while``
+        # onto the While op (constant-size graph); imperatively the
+        # plain Python loop already does the right thing, so skip the
+        # source transform.
+        from repro.runtime.context import context
 
-        results = control_flow.while_loop(
-            cond,
-            body,
-            (array_ops.constant(0), list_ops.empty_tensor_list()) + tuple(state),
-        )
-        acc = results[1]
-        final_state = results[2:]
+        if context.current_graph() is not None:
+            from repro.autograph import convert
+
+            scan = convert(scan)
+        acc, final_state = scan(x, tuple(state))
         if self.return_sequences:
             stacked = list_ops.tensor_list_stack(
                 acc, x.dtype, element_shape=(x.shape[0], self.cell.units)

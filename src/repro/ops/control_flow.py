@@ -460,20 +460,38 @@ def while_loop(
             )
         return tuple(flat_result)
 
+    # Shape-join fixpoint: the body trace must be valid for *every*
+    # iteration, but a body may return a loop variable whose static
+    # shape differs from its input spec (e.g. an accumulator built by
+    # ``concat``, or autograph-threaded state that broadens).  Widen
+    # each spec to the join (``most_general``) of its input and output
+    # shapes and re-trace until the specs stop changing.  Widening is
+    # strictly monotone on a finite lattice (dims -> None, rank ->
+    # unknown), so this terminates; the rank bound below is a backstop.
+    max_passes = sum(1 + (len(s.shape.as_list()) if s.shape.rank is not None else 1)
+                     for s in specs) + 1
+    for _ in range(max_passes):
+        body_graph, body_out, _ = tracing.trace_into_graph(
+            body_wrapper, specs, name="while_body"
+        )
+        for spec, out in zip(specs, body_out):
+            if out.dtype != spec.dtype:
+                raise InvalidArgumentError(
+                    f"while_loop body changed a loop variable dtype: "
+                    f"{spec.dtype} -> {out.dtype}"
+                )
+        widened = [
+            TensorSpec(spec.shape.most_general(out.shape), spec.dtype)
+            for spec, out in zip(specs, body_out)
+        ]
+        if all(w.shape == s.shape for w, s in zip(widened, specs)):
+            break
+        specs = widened
     cond_graph, cond_out, _ = tracing.trace_into_graph(
         cond_wrapper, specs, name="while_cond"
     )
     if len(cond_out) != 1 or cond_out[0].dtype != dtypes.bool_:
         raise InvalidArgumentError("while_loop condition must return a scalar bool")
-    body_graph, body_out, _ = tracing.trace_into_graph(
-        body_wrapper, specs, name="while_body"
-    )
-    for spec, out in zip(specs, body_out):
-        if out.dtype != spec.dtype:
-            raise InvalidArgumentError(
-                f"while_loop body changed a loop variable dtype: "
-                f"{spec.dtype} -> {out.dtype}"
-            )
 
     gf_cond = GraphFunction(
         "while_cond",

@@ -80,6 +80,7 @@ class Context:
         self._relax_retraces = self._relax_retraces_from_env()
         self._trace_cache_size = self._trace_cache_size_from_env()
         self._graph_fusion = self._graph_fusion_from_env()
+        self._autograph = self._autograph_from_env()
         self._serving_max_batch = self._serving_max_batch_from_env()
         self._serving_queue_depth = self._serving_queue_depth_from_env()
         self._serving_timeout_ms = self._serving_timeout_from_env()
@@ -160,6 +161,13 @@ class Context:
         # Default ON since the fusion pass graduated from the gated
         # tier1-fusion lane; REPRO_GRAPH_FUSION=0 is the opt-out.
         raw = os.environ.get("REPRO_GRAPH_FUSION", "1").strip().lower()
+        return raw in ("1", "true", "yes", "on")
+
+    @staticmethod
+    def _autograph_from_env() -> bool:
+        # Default ON: every `function` lowers tensor-dependent Python
+        # control flow at trace time; REPRO_AUTOGRAPH=0 is the opt-out.
+        raw = os.environ.get("REPRO_AUTOGRAPH", "1").strip().lower()
         return raw in ("1", "true", "yes", "on")
 
     @staticmethod
@@ -341,6 +349,26 @@ class Context:
     @graph_fusion.setter
     def graph_fusion(self, value: bool) -> None:
         self._graph_fusion = bool(value)
+
+    @property
+    def autograph(self) -> bool:
+        """Whether ``function`` rewrites Python control flow at trace time.
+
+        When on, the Python function handed to ``repro.function`` is
+        passed through :func:`repro.autograph.convert` before tracing:
+        tensor-dependent ``if``/``while``/``for``/``break``/``continue``
+        /early-``return`` lower onto the staged ``cond``/``while_loop``
+        ops, and everything else keeps ordinary Python semantics.
+        Initialised from ``REPRO_AUTOGRAPH`` (default **on**; set ``0``
+        to opt out).  Per-function ``autograph=`` overrides it either
+        way.  Applies to traces started afterwards; already-converted
+        functions keep their conversion.
+        """
+        return self._autograph
+
+    @autograph.setter
+    def autograph(self, value: bool) -> None:
+        self._autograph = bool(value)
 
     @property
     def trace_cache_size(self) -> int:

@@ -35,9 +35,51 @@ __all__ = [
     "Tensor",
     "TensorBase",
     "TensorSpec",
+    "TraceSpecializationWarning",
     "convert_to_tensor",
     "unwrap_handle",
 ]
+
+
+class TraceSpecializationWarning(UserWarning):
+    """A concrete tensor's truth value was taken while tracing.
+
+    ``bool()`` on a concrete tensor inside a graph-building context
+    silently *specializes* the trace: the branch taken is baked into
+    the graph as if it were a constant, and the trace will replay that
+    branch even for inputs that would have gone the other way.  If the
+    predicate is data-dependent, make it an argument of the staged
+    function (so autograph lowers the control flow onto ``cond`` /
+    ``while_loop``) instead of closing over a concrete tensor.
+    """
+
+
+_specialization_warned_sites: set = set()
+
+
+def _warn_trace_specialization() -> None:
+    """Warn (once per call site) that a trace just specialized on a value."""
+    import sys
+    import warnings
+
+    pkg_dir = __file__.rsplit("/", 1)[0]  # .../src/repro
+    frame = sys._getframe(2)
+    while frame is not None and frame.f_code.co_filename.startswith(pkg_dir):
+        frame = frame.f_back
+    if frame is None:
+        return
+    site = (frame.f_code.co_filename, frame.f_lineno)
+    if site in _specialization_warned_sites:
+        return
+    _specialization_warned_sites.add(site)
+    warnings.warn(
+        f"bool() of a concrete tensor at {site[0]}:{site[1]} during "
+        "tracing: the branch decision is baked into the trace (silent "
+        "specialization). Pass the tensor as an argument of the staged "
+        "function so the control flow is lowered instead.",
+        TraceSpecializationWarning,
+        stacklevel=3,
+    )
 
 
 # Cached repro.ops.execute_binary, bound on first operator dispatch (the
@@ -343,6 +385,8 @@ class Tensor(TensorBase):
             raise InvalidArgumentError(
                 "The truth value of a non-scalar tensor is ambiguous"
             )
+        if context.current_graph() is not None:
+            _warn_trace_specialization()
         return bool(self._array.reshape(())[()])
 
     def __float__(self) -> float:

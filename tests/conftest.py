@@ -61,6 +61,8 @@ def _reset_context_knobs():
     context._relax_retraces = Context._relax_retraces_from_env()
     context._trace_cache_size = Context._trace_cache_size_from_env()
     context._graph_fusion = Context._graph_fusion_from_env()
+    context._autograph = Context._autograph_from_env()
+    repro.tensor._specialization_warned_sites.clear()
     context._serving_max_batch = Context._serving_max_batch_from_env()
     context._serving_queue_depth = Context._serving_queue_depth_from_env()
     context._serving_timeout_ms = Context._serving_timeout_from_env()

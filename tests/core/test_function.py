@@ -395,8 +395,21 @@ class TestTracingSemantics:
         with pytest.raises(FailedPreconditionError):
             leaked["tensor"] + 1.0
 
-    def test_data_dependent_python_branch_fails_cleanly(self):
+    def test_data_dependent_python_branch_lowers_by_default(self):
+        # Autograph rewrites the tensor-dependent ``if`` onto ``cond``
+        # at trace time: one trace serves both branch outcomes.
         @repro.function
+        def f(x):
+            if x > 0.0:
+                return x
+            return -x
+
+        assert float(f(repro.constant(1.0))) == 1.0
+        assert float(f(repro.constant(-3.0))) == 3.0
+        assert f.trace_count == 1
+
+    def test_data_dependent_python_branch_fails_cleanly_when_opted_out(self):
+        @repro.function(autograph=False)
         def f(x):
             if x > 0.0:  # symbolic truth value
                 return x

@@ -90,7 +90,15 @@ def run_program(program: Program, mode: str, dtype: str):
         raise ValueError(f"unknown mode {mode!r}")
     arrays = program.make_inputs(np.random.default_rng(0))
     dt = getattr(repro, dtype)
-    fn = repro.function(program.fn) if mode == "staged" else program.fn
+    # autograph=True explicitly (not just the default) so the corpus —
+    # including the plain-Python ``ag_*`` control-flow programs — stays
+    # meaningful under the REPRO_AUTOGRAPH=0 CI leg; the default-on
+    # contract itself is pinned in tests/core/test_function.py.
+    fn = (
+        repro.function(program.fn, autograph=True)
+        if mode == "staged"
+        else program.fn
+    )
     with repro.execution_mode("sync" if mode == "staged" else mode):
         tensors = [repro.constant(a, dtype=dt) for a in arrays]
         with repro.GradientTape() as tape:
@@ -195,7 +203,9 @@ def run_program_relaxed(program: Program, dtype: str):
     if program.alt_inputs is None:
         raise ValueError(f"{program.name} has no alt_inputs; cannot relax")
     dt = getattr(repro, dtype)
-    fn = repro.function(program.fn, experimental_relax_shapes=True)
+    fn = repro.function(
+        program.fn, experimental_relax_shapes=True, autograph=True
+    )
     warm = [
         repro.constant(a, dtype=dt)
         for a in program.alt_inputs(np.random.default_rng(1))
@@ -397,6 +407,128 @@ def _while_accumulate(x):
     return out
 
 
+# Autograph-lowered control flow ---------------------------------------------
+#
+# The same corpus discipline, but written as *plain Python* control
+# flow over tensor values.  Eagerly these run as ordinary Python (the
+# truth value of a concrete tensor exists); staged, autograph rewrites
+# them onto Cond / While at trace time.  Parity across all four modes
+# pins the transform end to end: outputs AND gradients.
+
+
+def _ag_if_scale(x):
+    if repro.reduce_sum(x) > 0.0:
+        y = x * 2.0
+    else:
+        y = x * 0.5
+    return y
+
+
+def _ag_if_nested(x):
+    s = repro.reduce_sum(x)
+    if s > 0.0:
+        if repro.reduce_max(x) > 1.0:
+            y = x * 3.0
+        else:
+            y = x + 1.0
+    else:
+        y = -x
+    return y
+
+
+def _ag_elif_chain(x):
+    s = repro.reduce_mean(x)
+    if s > 1.0:
+        y = x - 1.0
+    elif s > 0.0:
+        y = x * 2.0
+    elif s > -1.0:
+        y = x * -0.5
+    else:
+        y = x + 2.0
+    return y
+
+
+def _ag_boolop_pred(x):
+    s = repro.reduce_sum(x)
+    if s > -10.0 and s < 10.0:
+        y = repro.tanh(x)
+    else:
+        y = x
+    return y
+
+
+def _ag_early_return(x):
+    if repro.reduce_sum(x) < 0.0:
+        return -x
+    return x * 3.0
+
+
+def _ag_while_bound(x):
+    i = repro.constant(0)
+    y = x
+    while i < 3:
+        y = y * 1.5 + 0.25
+        i = i + 1
+    return y
+
+
+def _ag_while_data_bound(x):
+    # Data-dependent trip count; the 0.7 decay guarantees termination.
+    y = x
+    while repro.reduce_sum(repro.square(y)) > 0.5:
+        y = y * 0.7
+    return y
+
+
+def _ag_while_accum(x):
+    i = repro.constant(0)
+    acc = repro.zeros_like(x)
+    while i < 4:
+        acc = acc + x * repro.cast(i + 1, x.dtype)
+        i = i + 1
+    return acc
+
+
+def _ag_while_break(x):
+    i = repro.constant(0)
+    y = x
+    while i < 10:
+        y = y + x
+        if repro.reduce_sum(repro.abs(y)) > 4.0:
+            break
+        i = i + 1
+    return y
+
+
+def _ag_while_continue(x):
+    i = repro.constant(0)
+    acc = repro.zeros_like(x)
+    while i < 6:
+        i = i + 1
+        if repro.cast(i, x.dtype) > 3.0:
+            continue
+        acc = acc + x * repro.cast(i, x.dtype)
+    return acc
+
+
+def _ag_for_scan(x):
+    # RNN-style scan: iterate the leading axis, carrying hidden state.
+    h = repro.reduce_sum(x, axis=0) * 0.0
+    for row in x:
+        h = repro.tanh(h * 0.5 + row)
+    return h
+
+
+def _ag_for_scan_weighted(x, w):
+    h = repro.reduce_sum(x, axis=0) * 0.0
+    for row in x:
+        h = repro.tanh(
+            repro.reshape(repro.matmul(repro.expand_dims(h, 0), w), (-1,)) + row
+        )
+    return h
+
+
 # Small networks -------------------------------------------------------------
 
 
@@ -511,6 +643,23 @@ CORPUS = [
     _p("cond_branch", _vec(6), _cond_branch, alt_inputs=_vec(9)),
     _p("while_power", _vec(5), _while_power, alt_inputs=_vec(7)),
     _p("while_accumulate", _vec(5), _while_accumulate, alt_inputs=_vec(7)),
+    _p("ag_if_scale", _vec(6), _ag_if_scale, alt_inputs=_vec(9)),
+    _p("ag_if_nested", _vec(6), _ag_if_nested, alt_inputs=_vec(9)),
+    _p("ag_elif_chain", _vec(6), _ag_elif_chain, alt_inputs=_vec(9)),
+    _p("ag_boolop_pred", _vec(6), _ag_boolop_pred, alt_inputs=_vec(9)),
+    _p("ag_early_return", _vec(6), _ag_early_return, alt_inputs=_vec(9)),
+    _p("ag_while_bound", _vec(5), _ag_while_bound, alt_inputs=_vec(7)),
+    _p("ag_while_data_bound", _vec(5), _ag_while_data_bound, alt_inputs=_vec(7)),
+    _p("ag_while_accum", _vec(5), _ag_while_accum, alt_inputs=_vec(7)),
+    _p("ag_while_break", _vec(5), _ag_while_break, alt_inputs=_vec(7)),
+    _p("ag_while_continue", _vec(5), _ag_while_continue, alt_inputs=_vec(7)),
+    _p("ag_for_scan", _mat(4, 3), _ag_for_scan, alt_inputs=_mat(6, 3)),
+    _p(
+        "ag_for_scan_weighted",
+        lambda rng: [rng.normal(size=(4, 3)), rng.normal(size=(3, 3))],
+        _ag_for_scan_weighted,
+        alt_inputs=lambda rng: [rng.normal(size=(6, 3)), rng.normal(size=(3, 3))],
+    ),
     _p(
         "rnn_cell_step",
         lambda rng: [
