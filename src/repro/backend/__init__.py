@@ -1,0 +1,34 @@
+"""Pluggable array backends for the kernel/dispatch stack.
+
+Importing this package registers the built-in backends (``numpy``,
+``tracked``) and installs the tracked backend's protocol-routed
+kernels.  Select with ``context.kernel_backend`` /
+``REPRO_KERNEL_BACKEND``.
+"""
+
+from repro.backend.base import (
+    ArrayBackend,
+    backend_of,
+    get_backend,
+    list_backends,
+    register_backend,
+)
+from repro.backend.kernels import install_backend_kernels
+from repro.backend.numpy_backend import NUMPY_BACKEND, NumPyBackend
+from repro.backend.tracked import TRACKED_BACKEND, TrackedArray, TrackedBackend
+
+__all__ = [
+    "ArrayBackend",
+    "NumPyBackend",
+    "NUMPY_BACKEND",
+    "TrackedBackend",
+    "TrackedArray",
+    "TRACKED_BACKEND",
+    "backend_of",
+    "get_backend",
+    "list_backends",
+    "register_backend",
+    "install_backend_kernels",
+]
+
+install_backend_kernels(TRACKED_BACKEND)

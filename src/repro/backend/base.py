@@ -1,0 +1,182 @@
+"""The array-backend seam: one kernel API over pluggable array libraries.
+
+Following EagerPy's design of a single array API re-dispatched over many
+backends (PAPERS.md, arXiv 2008.04175), an :class:`ArrayBackend` bundles
+the primitives a kernel library needs — buffer allocation, host
+transfer, elementwise/matmul/reduce compute, and dtype promotion — so
+the dispatch stack (:mod:`repro.ops.registry`,
+:mod:`repro.runtime.dispatch`) can resolve kernels per backend instead
+of hard-wiring NumPy.
+
+The NumPy backend is both the default and the universal fallback: a new
+backend only registers kernels for the primitives it accelerates
+(:func:`repro.backend.kernels.install_backend_kernels`), and resolution
+falls back to the NumPy kernel for everything else.  The active backend
+is ``context.kernel_backend`` / ``REPRO_KERNEL_BACKEND``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.framework.errors import AlreadyExistsError, NotFoundError
+
+__all__ = [
+    "ArrayBackend",
+    "register_backend",
+    "get_backend",
+    "list_backends",
+    "backend_of",
+]
+
+
+class ArrayBackend:
+    """Protocol + base implementation for an array backend.
+
+    Subclasses override the primitives they accelerate; the base class
+    implements everything in terms of NumPy so a partial backend is
+    always complete.  Buffers flowing through the runtime must be (or
+    subclass) ``np.ndarray`` — the simulated devices, shared-memory
+    marshalling, and fusion codegen all assume NumPy's buffer protocol.
+    """
+
+    #: Registry key; subclasses must override.
+    name = "abstract"
+
+    #: Whether kernels for this backend accept NumPy's ``out=`` donation
+    #: protocol.  The executor's memory plan and fused-region codegen
+    #: only donate dying buffers in place when the active backend says
+    #: its arrays support it.
+    supports_inplace = True
+
+    # -- host transfer / allocation ------------------------------------
+    def from_host(self, array: np.ndarray) -> np.ndarray:
+        """Adopt a host (NumPy) buffer as a backend buffer."""
+        return array
+
+    def to_host(self, array) -> np.ndarray:
+        """View a backend buffer as a plain host NumPy array."""
+        return np.asarray(array)
+
+    def alloc(self, shape, dtype) -> np.ndarray:
+        """An uninitialized backend buffer (kernels write every element)."""
+        return self.from_host(np.empty(shape, dtype=np.dtype(dtype.name)))
+
+    # -- dtype semantics -----------------------------------------------
+    def promote_types(self, a, b):
+        """Binary-op result dtype.  Backends must agree with the
+        framework's strict promotion rules (conformance-tested)."""
+        from repro.framework.dtypes import result_type
+
+        return result_type(a, b)
+
+    # -- compute primitives --------------------------------------------
+    def elementwise(self, op_name: str, inputs: list, attrs: dict):
+        """Apply a (broadcasting) elementwise op to backend buffers."""
+        fn = _ELEMENTWISE_FNS.get(op_name)
+        if fn is None:
+            raise NotFoundError(
+                f"Backend {self.name!r} has no elementwise primitive for "
+                f"{op_name!r}"
+            )
+        return fn(*inputs, attrs)
+
+    def matmul(self, a, b, transpose_a: bool = False, transpose_b: bool = False):
+        if transpose_a:
+            a = np.swapaxes(a, -1, -2)
+        if transpose_b:
+            b = np.swapaxes(b, -1, -2)
+        return np.matmul(a, b)
+
+    def reduce(self, op_name: str, x, axis, keepdims: bool = False):
+        fn = _REDUCE_FNS.get(op_name)
+        if fn is None:
+            raise NotFoundError(
+                f"Backend {self.name!r} has no reduction primitive for "
+                f"{op_name!r}"
+            )
+        return fn(x, axis=axis, keepdims=keepdims)
+
+    def cast(self, x, dtype):
+        return x.astype(np.dtype(dtype.name))
+
+    def __repr__(self) -> str:
+        return f"<ArrayBackend {self.name!r}>"
+
+
+def _bool_out(fn):
+    return lambda *args: fn(*args[:-1])
+
+
+# Elementwise primitive table shared by the base implementation.  Each
+# entry takes the input buffers plus the attrs dict (last positional).
+_ELEMENTWISE_FNS: dict[str, Callable] = {
+    "Add": lambda x, y, a: np.add(x, y),
+    "Sub": lambda x, y, a: np.subtract(x, y),
+    "Mul": lambda x, y, a: np.multiply(x, y),
+    "RealDiv": lambda x, y, a: np.true_divide(x, y),
+    "Pow": lambda x, y, a: np.power(x, y),
+    "Maximum": lambda x, y, a: np.maximum(x, y),
+    "Minimum": lambda x, y, a: np.minimum(x, y),
+    "SquaredDifference": lambda x, y, a: np.square(np.subtract(x, y)),
+    "Neg": lambda x, a: np.negative(x),
+    "Abs": lambda x, a: np.abs(x),
+    "Exp": lambda x, a: np.exp(x),
+    "Log": lambda x, a: np.log(x),
+    "Sqrt": lambda x, a: np.sqrt(x),
+    "Rsqrt": lambda x, a: 1.0 / np.sqrt(x),
+    "Square": lambda x, a: np.square(x),
+    "Sin": lambda x, a: np.sin(x),
+    "Cos": lambda x, a: np.cos(x),
+    "Tanh": lambda x, a: np.tanh(x),
+    "Sigmoid": lambda x, a: 1.0 / (1.0 + np.exp(-x)),
+    "Relu": lambda x, a: np.maximum(x, 0),
+    "Less": lambda x, y, a: np.less(x, y),
+    "LessEqual": lambda x, y, a: np.less_equal(x, y),
+    "Greater": lambda x, y, a: np.greater(x, y),
+    "GreaterEqual": lambda x, y, a: np.greater_equal(x, y),
+    "Equal": lambda x, y, a: np.equal(x, y),
+    "NotEqual": lambda x, y, a: np.not_equal(x, y),
+}
+
+_REDUCE_FNS: dict[str, Callable] = {
+    "Sum": np.sum,
+    "Mean": np.mean,
+    "Max": np.max,
+    "Min": np.min,
+    "Prod": np.prod,
+}
+
+
+_BACKENDS: dict[str, ArrayBackend] = {}
+
+
+def register_backend(backend: ArrayBackend) -> ArrayBackend:
+    """Add a backend to the registry (its ``name`` becomes the key)."""
+    if backend.name in _BACKENDS:
+        raise AlreadyExistsError(
+            f"Array backend {backend.name!r} is already registered"
+        )
+    _BACKENDS[backend.name] = backend
+    return backend
+
+
+def get_backend(name: str) -> ArrayBackend:
+    try:
+        return _BACKENDS[name]
+    except KeyError:
+        raise NotFoundError(
+            f"Unknown array backend {name!r}; registered backends: "
+            f"{sorted(_BACKENDS)}"
+        ) from None
+
+
+def list_backends() -> list[str]:
+    return sorted(_BACKENDS)
+
+
+def backend_of(array) -> str:
+    """The backend name owning a buffer (tag attribute, NumPy default)."""
+    return getattr(array, "__array_backend__", "numpy")

@@ -105,6 +105,13 @@ class DType:
     def __hash__(self) -> int:
         return hash(self._name)
 
+    def __reduce__(self):
+        # DTypes are interned singletons compared by identity in hot
+        # paths; pickling (e.g. op attrs crossing a device-worker
+        # process boundary) must rehydrate to the interned instance,
+        # not a copy.
+        return (as_dtype, (self._name,))
+
     def __repr__(self) -> str:
         return f"repro.{self._name}"
 

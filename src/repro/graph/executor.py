@@ -184,6 +184,11 @@ class GraphRunner:
         # node — the low per-op overhead that gives staged execution
         # its edge.
         core = dispatch.core
+        # Kernels below resolve under the backend active at plan-build
+        # time; `run` rebuilds the plan if the backend has changed since
+        # (plans are cached per GraphFunction and must not pin a stale
+        # backend's kernels).
+        self.plan_backend = context.kernel_backend
         self.plan = []
         for node in self.schedule:
             kernel = None
@@ -231,7 +236,9 @@ class GraphRunner:
         # static shape and dtype.  Gated with the fusion knob — the two
         # together are the "static memory plan".  The knob is captured at
         # plan-build time; flipping it later only affects new plans.
-        if context.graph_fusion:
+        # Donation additionally requires the active backend's buffers to
+        # honor NumPy's `out=` protocol.
+        if context.graph_fusion and context.array_backend().supports_inplace:
             for pos, entry in enumerate(self.plan):
                 node = entry[0]
                 if entry[1] or entry[2] is None or entry[6] is None:
@@ -368,6 +375,10 @@ class GraphRunner:
         with hashable keys); placeholders may be the symbolic output or
         the Placeholder node itself.
         """
+        if self.plan_backend != context._kernel_backend:
+            # The active array backend changed after this plan bound its
+            # kernels; rebind so cached plans follow the knob.
+            self._build_schedule()
         items = feeds.items() if isinstance(feeds, dict) else feeds
         feed_values: dict[int, Tensor] = {}
         for key, value in items:

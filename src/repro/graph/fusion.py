@@ -116,6 +116,7 @@ class FusionRegion:
         "internal_peak_bytes",
         "peak_is_lower_bound",
         "donated_steps",
+        "backend",
         "_compiled",
     )
 
@@ -129,6 +130,7 @@ class FusionRegion:
         internal_peak_bytes: int,
         peak_is_lower_bound: bool,
         donated_steps: int,
+        backend: str = "numpy",
     ) -> None:
         self.steps = tuple(steps)
         self.out_refs = tuple(out_refs)
@@ -138,6 +140,7 @@ class FusionRegion:
         self.internal_peak_bytes = internal_peak_bytes
         self.peak_is_lower_bound = peak_is_lower_bound
         self.donated_steps = donated_steps
+        self.backend = backend
         try:
             self._compiled = self._compile()
         except Exception:  # pragma: no cover - codegen is deterministic
@@ -461,6 +464,15 @@ def _build_region(
     member_nodes: list[Node], escaping: set[int]
 ) -> tuple[FusionRegion, list[SymbolicTensor], list[SymbolicTensor]]:
     """Compile one cluster; returns (region, ext inputs, escaping outs)."""
+    from repro.runtime.context import context
+
+    # Member kernels bind per-backend at build time, so the generated
+    # step loop emits against the active backend's kernels (with the
+    # NumPy registration as the fallback) rather than raw np.* calls.
+    # In-place donation relies on NumPy's `out=` protocol; backends
+    # whose buffers don't honor it opt out via `supports_inplace`.
+    region_backend = context.kernel_backend
+    backend_inplace_ok = context.array_backend().supports_inplace
     member_ids = {id(n) for n in member_nodes}
 
     ext_tensors: list[SymbolicTensor] = []
@@ -514,7 +526,9 @@ def _build_region(
     donates: list[int] = []
     for k, node in enumerate(member_nodes):
         donate = -1
-        inplace = registry.get_inplace_kernel(node.op_name)
+        inplace = (
+            registry.get_inplace_kernel(node.op_name) if backend_inplace_ok else None
+        )
         out_spec = node.outputs[0].spec
         if inplace is not None and out_spec.shape.is_fully_defined:
             for r in step_in_refs[k]:
@@ -564,7 +578,12 @@ def _build_region(
         steps.append(
             (
                 node.op_name,
-                registry.get_kernel(node.op_name, "CPU"),
+                registry.resolve_kernel(
+                    node.op_name,
+                    "CPU",
+                    allow_soft_placement=False,
+                    backend=region_backend,
+                ),
                 registry.get_inplace_kernel(node.op_name) if donate >= 0 else None,
                 node.attrs,
                 step_in_refs[k],
@@ -585,6 +604,7 @@ def _build_region(
         internal_peak_bytes=peak,
         peak_is_lower_bound=lower_bound,
         donated_steps=sum(1 for d in donates if d >= 0),
+        backend=region_backend,
     )
     escaping_outs = [member_nodes[k].outputs[0] for k in out_members]
     return region, ext_tensors, escaping_outs

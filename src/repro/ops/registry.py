@@ -11,8 +11,11 @@ Three registries implement that split:
   subexpression elimination) and a shape/dtype inference function used
   when the op is *staged* into a graph.
 * :func:`register_kernel` — device-specific implementations, keyed by
-  ``(op name, device type)``.  CPU and the simulated GPU share NumPy
-  kernels; the TPU has none (it only runs XLA-compiled programs).
+  ``(op name, device type, backend)``.  CPU and the simulated GPU share
+  NumPy kernels; the TPU has none (it only runs XLA-compiled programs).
+  Kernels bind to an *array backend* (:mod:`repro.backend`); the NumPy
+  backend is the default and the universal fallback, so an alternative
+  backend only has to register the primitives it accelerates.
 * :func:`register_gradient` — the reverse-mode rule for each op,
   consumed by the tape machinery (§4.2).  Gradient functions are
   themselves compositions of primitive ops, so "it is possible to
@@ -27,13 +30,16 @@ from typing import Callable, Optional, Sequence
 from repro.framework.errors import AlreadyExistsError, NotFoundError
 
 __all__ = [
+    "DEFAULT_BACKEND",
     "ELEMENTWISE_OPS",
     "OpDef",
     "register_op",
     "get_op_def",
     "register_kernel",
+    "unregister_kernel",
     "get_kernel",
     "has_kernel",
+    "kernel_backends",
     "resolve_kernel",
     "add_kernel_registration_listener",
     "register_gradient",
@@ -95,14 +101,19 @@ class OpDef:
         return self.infer_fn(input_specs, attrs)
 
 
+# The default array backend.  Every kernel registered without an
+# explicit ``backend=`` binds here, and placement-aware resolution falls
+# back here when the active backend has no specialized kernel.
+DEFAULT_BACKEND = "numpy"
+
 _OPS: dict[str, OpDef] = {}
-_KERNELS: dict[tuple[str, str], KernelFn] = {}
+_KERNELS: dict[tuple[str, str, str], KernelFn] = {}
 _GRADIENTS: dict[str, GradFn] = {}
 
 # Placement-aware kernel resolution is memoised here (and again, keyed
 # by input signature, in the dispatch core); registering a new kernel
 # invalidates both through the listener list.
-_RESOLUTION_CACHE: dict[tuple[str, str, bool], KernelFn] = {}
+_RESOLUTION_CACHE: dict[tuple[str, str, str, bool], KernelFn] = {}
 _KERNEL_LISTENERS: list[Callable[[], None]] = []
 
 
@@ -154,12 +165,22 @@ def list_ops() -> list[str]:
     return sorted(_OPS)
 
 
-def register_kernel(op_name: str, device_types: Sequence[str] = ("CPU", "GPU")):
-    """Decorator registering ``fn`` as the kernel for op on device types."""
+def register_kernel(
+    op_name: str,
+    device_types: Sequence[str] = ("CPU", "GPU"),
+    backend: str = DEFAULT_BACKEND,
+):
+    """Decorator registering ``fn`` as the kernel for op on device types.
+
+    ``backend`` names the array backend the kernel is implemented
+    against (see :mod:`repro.backend`).  The default binds to the NumPy
+    backend, which doubles as the fallback implementation for every
+    other backend.
+    """
 
     def decorator(fn: KernelFn) -> KernelFn:
         for device_type in device_types:
-            key = (op_name, device_type.upper())
+            key = (op_name, device_type.upper(), backend)
             if key in _KERNELS:
                 raise AlreadyExistsError(f"Kernel already registered for {key}")
             _KERNELS[key] = fn
@@ -169,39 +190,78 @@ def register_kernel(op_name: str, device_types: Sequence[str] = ("CPU", "GPU")):
     return decorator
 
 
-def get_kernel(op_name: str, device_type: str) -> KernelFn:
+def unregister_kernel(
+    op_name: str,
+    device_types: Sequence[str] = ("CPU", "GPU"),
+    backend: str = DEFAULT_BACKEND,
+) -> None:
+    """Remove a kernel registration (test backends use this to clean up)."""
+    for device_type in device_types:
+        _KERNELS.pop((op_name, device_type.upper(), backend), None)
+    _notify_kernel_registration()
+
+
+def get_kernel(
+    op_name: str, device_type: str, backend: str = DEFAULT_BACKEND
+) -> KernelFn:
+    """Exact-key kernel lookup (no placement or backend fallback)."""
     try:
-        return _KERNELS[(op_name, device_type.upper())]
+        return _KERNELS[(op_name, device_type.upper(), backend)]
     except KeyError:
         raise NotFoundError(
             f"No kernel registered for operation {op_name!r} on device type "
-            f"{device_type!r}"
+            f"{device_type!r} (backend {backend!r})"
         ) from None
 
 
-def has_kernel(op_name: str, device_type: str) -> bool:
-    return (op_name, device_type.upper()) in _KERNELS
+def has_kernel(
+    op_name: str, device_type: str, backend: str = DEFAULT_BACKEND
+) -> bool:
+    return (op_name, device_type.upper(), backend) in _KERNELS
+
+
+def kernel_backends(op_name: str, device_type: str) -> list[str]:
+    """All backends with a kernel registered for ``(op, device_type)``."""
+    device_type = device_type.upper()
+    return sorted(
+        b for (op, dev, b) in _KERNELS if op == op_name and dev == device_type
+    )
 
 
 def resolve_kernel(
-    op_name: str, device_type: str, allow_soft_placement: bool = True
+    op_name: str,
+    device_type: str,
+    allow_soft_placement: bool = True,
+    backend: Optional[str] = None,
 ) -> KernelFn:
-    """Placement-aware kernel resolution (the cacheable dispatch API).
+    """Placement- and backend-aware kernel resolution (the cacheable
+    dispatch API).
 
-    Returns the kernel registered for ``(op_name, device_type)``; under
-    soft placement, ops without a kernel on the requested accelerator
-    fall back to their CPU kernel (TF does the same).  Successful
-    resolutions are memoised until the next kernel registration, so the
-    dispatch hot path is a dict hit rather than repeated probing.
+    Returns the kernel registered for ``(op_name, device_type,
+    backend)``, falling back in order: the NumPy kernel on the requested
+    device type, then — under soft placement — the backend's CPU kernel,
+    then the NumPy CPU kernel (TF's soft placement does the same minus
+    the backend dimension).  ``backend=None`` resolves against the
+    context's active backend.  Successful resolutions are memoised until
+    the next kernel registration, so the dispatch hot path is a dict hit
+    rather than repeated probing.
     """
+    if backend is None:
+        from repro.runtime.context import context
+
+        backend = context.kernel_backend
     device_type = device_type.upper()
-    key = (op_name, device_type, allow_soft_placement)
+    key = (op_name, device_type, backend, allow_soft_placement)
     kernel = _RESOLUTION_CACHE.get(key)
     if kernel is not None:
         return kernel
-    kernel = _KERNELS.get((op_name, device_type))
+    kernel = _KERNELS.get((op_name, device_type, backend))
+    if kernel is None and backend != DEFAULT_BACKEND:
+        kernel = _KERNELS.get((op_name, device_type, DEFAULT_BACKEND))
     if kernel is None and allow_soft_placement and device_type != "CPU":
-        kernel = _KERNELS.get((op_name, "CPU"))
+        kernel = _KERNELS.get((op_name, "CPU", backend))
+        if kernel is None and backend != DEFAULT_BACKEND:
+            kernel = _KERNELS.get((op_name, "CPU", DEFAULT_BACKEND))
     if kernel is None:
         raise NotFoundError(
             f"No kernel for operation {op_name!r} on device type "

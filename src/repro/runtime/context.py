@@ -84,6 +84,9 @@ class Context:
         self._serving_max_batch = self._serving_max_batch_from_env()
         self._serving_queue_depth = self._serving_queue_depth_from_env()
         self._serving_timeout_ms = self._serving_timeout_from_env()
+        self._kernel_backend = self._kernel_backend_from_env()
+        self._array_backend_obj = None  # resolved lazily (import order)
+        self._process_devices = self._process_devices_from_env()
         self._initialize_local_devices(num_gpus=num_gpus, num_tpus=num_tpus)
 
     @staticmethod
@@ -225,6 +228,17 @@ class Context:
                 f"REPRO_SERVING_TIMEOUT_MS must be a number, got {raw!r}"
             ) from None
         return value if value > 0 else None
+
+    @staticmethod
+    def _kernel_backend_from_env() -> str:
+        # Validated lazily (against the backend registry) on first use:
+        # the registry package imports after the context exists.
+        return os.environ.get("REPRO_KERNEL_BACKEND", "numpy").strip() or "numpy"
+
+    @staticmethod
+    def _process_devices_from_env() -> bool:
+        raw = os.environ.get("REPRO_PROCESS_DEVICES", "0").strip().lower()
+        return raw in ("1", "true", "yes", "on")
 
     # -- placement / execution knobs --------------------------------------
     @property
@@ -407,6 +421,64 @@ class Context:
                 core.clear_kernel_cache()
 
     @property
+    def kernel_backend(self) -> str:
+        """The active array backend for kernel resolution.
+
+        Kernels are registered per ``(op, device type, backend)``
+        (:mod:`repro.backend`); the active backend's kernels win and
+        anything it doesn't implement falls back to the NumPy kernels.
+        Initialised from ``REPRO_KERNEL_BACKEND`` (default ``"numpy"``).
+        Applies to ops dispatched afterwards; fused regions and
+        execution plans built earlier keep the kernels they bound.
+        """
+        return self._kernel_backend
+
+    @kernel_backend.setter
+    def kernel_backend(self, name: str) -> None:
+        from repro.backend import base
+
+        backend = base.get_backend(str(name))  # validates the name
+        self._kernel_backend = backend.name
+        self._array_backend_obj = backend
+        # No cache clear needed: the dispatch core's per-signature cache
+        # keys include the backend name.
+
+    def array_backend(self):
+        """The active :class:`~repro.backend.ArrayBackend` object."""
+        obj = self._array_backend_obj
+        if obj is None or obj.name != self._kernel_backend:
+            from repro.backend import base
+
+            obj = self._array_backend_obj = base.get_backend(self._kernel_backend)
+        return obj
+
+    @property
+    def process_devices(self) -> bool:
+        """Whether simulated GPU devices run kernels in worker processes.
+
+        When on, each local GPU device's kernel loop runs in a forked
+        worker process (:mod:`repro.runtime.worker_pool`): tensors are
+        marshalled over shared memory, the Python thread blocks on IPC
+        with the GIL released, and the parallel graph scheduler / async
+        eager streams overlap real compute on multi-core hosts.
+        Initialised from ``REPRO_PROCESS_DEVICES`` (default off).
+        Turning it off shuts the workers down.
+        """
+        return self._process_devices
+
+    @process_devices.setter
+    def process_devices(self, value: bool) -> None:
+        value = bool(value)
+        if value == self._process_devices:
+            return
+        self._process_devices = value
+        mod = sys.modules.get("repro.runtime.worker_pool")
+        if mod is None and value:
+            from repro.runtime import worker_pool as mod
+        if mod is not None:
+            mod.apply_process_devices(value)
+
+    @property
     def inter_op_parallelism_threads(self) -> int:
         """Thread-pool size for the parallel graph executor.
 
@@ -517,6 +589,10 @@ class Context:
             core = _dispatch_core()
             if core is not None and core.compilation_runner is not None:
                 dev.set_op_runner(core.compilation_runner)
+        if self._process_devices:
+            mod = sys.modules.get("repro.runtime.worker_pool")
+            if mod is not None:
+                mod.maybe_install_runner(dev)
 
     def list_devices(self) -> list[str]:
         """Names of all devices the runtime is aware of (paper §4.4)."""

@@ -201,14 +201,21 @@ class DispatchCore:
 
     # -- kernel resolution -------------------------------------------------
     def resolve_kernel(self, op_name: str, device_type: str, input_dtypes: tuple = ()):
-        """Resolve (and cache) the kernel for one op signature."""
-        key = (op_name, device_type, input_dtypes)
+        """Resolve (and cache) the kernel for one op signature.
+
+        The cache key includes the active array backend, so flipping
+        ``context.kernel_backend`` re-resolves without clearing (and the
+        backend seam costs one attribute read on a cache hit).
+        """
+        backend = context._kernel_backend
+        key = (op_name, device_type, input_dtypes, backend)
         kernel = self._kernel_cache.get(key)
         if kernel is None:
             kernel = registry.resolve_kernel(
                 op_name,
                 device_type,
                 allow_soft_placement=context.soft_device_placement,
+                backend=backend,
             )
             self._kernel_cache[key] = kernel
         return kernel
@@ -359,8 +366,16 @@ class DispatchCore:
                 op_name, inputs, attrs, device, in_dtypes, flush
             )
         submit_remote = getattr(device, "execute_op_async", None)
-        if device._special_dispatch and submit_remote is None:
+        if (
+            device._special_dispatch
+            and submit_remote is None
+            and not device._process_backed
+        ):
             # Compiled-only devices (TPU) have no stream equivalent.
+            # Process-backed devices DO pipeline: their stream worker
+            # blocks on worker IPC (releasing the GIL) while the child
+            # process computes, which is exactly the overlap async eager
+            # wants.
             return self._dispatch_sync_fallback(
                 op_name, inputs, attrs, device, in_dtypes, False
             )

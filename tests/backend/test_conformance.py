@@ -1,0 +1,216 @@
+"""Backend conformance matrix.
+
+Every registered :class:`ArrayBackend` must produce bit-compatible
+results with the reference NumPy kernels across a representative
+kernel × dtype grid, fall back to NumPy kernels for ops it does not
+implement, and round-trip host buffers faithfully.  The ``tracked``
+backend doubles as the pluggability witness: its primitive counters
+prove ops were actually routed through the backend seam rather than
+silently falling back.
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+import repro
+from repro.backend import base, list_backends
+from repro.backend.tracked import TRACKED_BACKEND, TrackedArray
+from repro.ops import registry
+from repro.runtime.context import context
+
+ALL_BACKENDS = sorted(list_backends())
+
+FLOAT_DTYPES = [np.float32, np.float64]
+INT_DTYPES = [np.int32, np.int64]
+
+BINARY_OPS = [
+    ("Add", repro.add),
+    ("Mul", repro.multiply),
+    ("Maximum", repro.maximum),
+]
+UNARY_FLOAT_OPS = [
+    ("Exp", repro.exp),
+    ("Tanh", repro.tanh),
+    ("Sqrt", repro.sqrt),
+    ("Sigmoid", repro.sigmoid),
+]
+REDUCE_OPS = [
+    ("Sum", repro.reduce_sum),
+    ("Mean", repro.reduce_mean),
+    ("Max", repro.reduce_max),
+]
+
+
+@pytest.fixture(params=ALL_BACKENDS)
+def backend_name(request):
+    context.kernel_backend = request.param
+    TRACKED_BACKEND.reset_stats()
+    yield request.param
+    context._kernel_backend = "numpy"
+
+
+def _rand(dtype, shape=(4, 5), seed=7):
+    rng = np.random.default_rng(seed)
+    if np.issubdtype(dtype, np.integer):
+        return rng.integers(1, 9, size=shape).astype(dtype)
+    return (rng.random(shape) + 0.25).astype(dtype)
+
+
+class TestKernelMatrix:
+    @pytest.mark.parametrize("dtype", FLOAT_DTYPES + INT_DTYPES)
+    @pytest.mark.parametrize("op_name,fn", BINARY_OPS)
+    def test_binary_elementwise(self, backend_name, op_name, fn, dtype):
+        a, b = _rand(dtype, seed=1), _rand(dtype, seed=2)
+        out = fn(repro.constant(a), repro.constant(b)).numpy()
+        ref = {
+            "Add": np.add,
+            "Mul": np.multiply,
+            "Maximum": np.maximum,
+        }[op_name](a, b)
+        np.testing.assert_allclose(out, ref, rtol=1e-6)
+        assert out.dtype == ref.dtype
+
+    @pytest.mark.parametrize("dtype", FLOAT_DTYPES)
+    @pytest.mark.parametrize("op_name,fn", UNARY_FLOAT_OPS)
+    def test_unary_elementwise(self, backend_name, op_name, fn, dtype):
+        x = _rand(dtype)
+        out = fn(repro.constant(x)).numpy()
+        ref = {
+            "Exp": np.exp,
+            "Tanh": np.tanh,
+            "Sqrt": np.sqrt,
+            "Sigmoid": lambda v: 1.0 / (1.0 + np.exp(-v)),
+        }[op_name](x)
+        np.testing.assert_allclose(out, ref, rtol=1e-5)
+
+    @pytest.mark.parametrize("dtype", FLOAT_DTYPES + INT_DTYPES)
+    @pytest.mark.parametrize("op_name,fn", REDUCE_OPS)
+    def test_reductions_preserve_dtype(self, backend_name, op_name, fn, dtype):
+        x = _rand(dtype, shape=(3, 6))
+        out = fn(repro.constant(x), axis=1).numpy()
+        ref = {"Sum": np.sum, "Mean": np.mean, "Max": np.max}[op_name](
+            x, axis=1
+        )
+        np.testing.assert_allclose(
+            out, ref.astype(dtype), rtol=1e-6, atol=1e-6
+        )
+        # Framework convention: reductions keep the input dtype (no
+        # silent int→int64 / float→float64 widening).
+        assert out.dtype == dtype
+
+    @pytest.mark.parametrize("dtype", FLOAT_DTYPES)
+    def test_matmul(self, backend_name, dtype):
+        a = _rand(dtype, shape=(4, 3), seed=3)
+        b = _rand(dtype, shape=(3, 5), seed=4)
+        out = repro.matmul(repro.constant(a), repro.constant(b)).numpy()
+        np.testing.assert_allclose(out, a @ b, rtol=1e-5)
+
+    @pytest.mark.parametrize("src,dst", [(np.float32, "int32"), (np.int32, "float64")])
+    def test_cast(self, backend_name, src, dst):
+        x = _rand(src)
+        out = repro.cast(repro.constant(x), dst).numpy()
+        np.testing.assert_allclose(out, x.astype(dst))
+
+    def test_comparison_returns_bool(self, backend_name):
+        a, b = _rand(np.float32, seed=5), _rand(np.float32, seed=6)
+        out = repro.less(repro.constant(a), repro.constant(b)).numpy()
+        assert out.dtype == np.bool_
+        np.testing.assert_array_equal(out, a < b)
+
+
+class TestBackendSeam:
+    def test_promote_types_matches_framework(self):
+        for name in ALL_BACKENDS:
+            be = base.get_backend(name)
+            assert be.promote_types(repro.float32, repro.float32) is repro.float32
+            with pytest.raises(TypeError):
+                be.promote_types(repro.float32, repro.float64)
+
+    def test_host_roundtrip(self):
+        x = np.arange(12, dtype=np.float32).reshape(3, 4)
+        for name in ALL_BACKENDS:
+            be = base.get_backend(name)
+            dev = be.from_host(x)
+            back = be.to_host(dev)
+            np.testing.assert_array_equal(back, x)
+
+    def test_tracked_counts_primitives(self):
+        context.kernel_backend = "tracked"
+        TRACKED_BACKEND.reset_stats()
+        a = repro.constant(_rand(np.float32, shape=(4, 4), seed=8))
+        out = repro.add(repro.matmul(a, a, transpose_b=True), a)
+        out.numpy()
+        calls = dict(TRACKED_BACKEND.primitive_calls)
+        assert calls.get("MatMul", 0) >= 1
+        assert calls.get("Add", 0) >= 1
+
+    def test_tracked_buffers_are_tagged(self):
+        context.kernel_backend = "tracked"
+        a = repro.constant(np.ones((2, 2), dtype=np.float32))
+        out = repro.multiply(a, a)
+        assert out.backend == "tracked"
+        assert isinstance(out._array, TrackedArray)
+        # .numpy() hands back a plain host ndarray.
+        assert type(np.asarray(out.numpy())) is np.ndarray
+
+    def test_numpy_fallback_for_unimplemented_op(self):
+        # Reshape has no tracked-backend kernel; resolution must fall
+        # back to the numpy kernel rather than fail.
+        context.kernel_backend = "tracked"
+        k = registry.resolve_kernel("Reshape", "CPU")
+        assert k is registry.get_kernel("Reshape", "CPU", backend="numpy")
+        x = repro.constant(np.arange(6, dtype=np.float32))
+        out = repro.reshape(x, [2, 3])
+        assert out.shape.as_list() == [2, 3]
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(Exception):
+            context.kernel_backend = "no-such-backend"
+        assert context.kernel_backend == "numpy"
+
+    def test_gradients_flow_through_backend(self):
+        context.kernel_backend = "tracked"
+        x = repro.constant(np.array([1.0, 2.0, 3.0], dtype=np.float32))
+        with repro.GradientTape() as tape:
+            tape.watch(x)
+            y = repro.reduce_sum(repro.multiply(x, x))
+        (g,) = tape.gradient(y, [x])
+        np.testing.assert_allclose(g.numpy(), 2.0 * x.numpy())
+
+    def test_staged_function_respects_backend(self):
+        context.kernel_backend = "tracked"
+        TRACKED_BACKEND.reset_stats()
+
+        @repro.function
+        def f(a, b):
+            return repro.add(repro.multiply(a, b), a)
+
+        x = repro.constant(np.ones((8,), dtype=np.float32))
+        out = f(x, x)
+        np.testing.assert_allclose(out.numpy(), 2.0 * np.ones(8))
+        assert TRACKED_BACKEND.total_calls() >= 1
+
+
+@pytest.mark.skipif(
+    not os.environ.get("REPRO_PROCESS_DEVICES"),
+    reason="process-device parity checks run with REPRO_PROCESS_DEVICES=1",
+)
+class TestProcessDeviceParity:
+    def test_gpu_matmul_parity(self):
+        from repro.runtime import worker_pool
+
+        a_np = _rand(np.float32, shape=(96, 96), seed=11)
+        with repro.device("/gpu:0"):
+            a = repro.constant(a_np)
+            out = repro.matmul(a, a).numpy()
+        np.testing.assert_allclose(out, a_np @ a_np, rtol=1e-4)
+        stats = worker_pool.worker_stats()
+        assert any(st["ops_shipped"] > 0 for st in stats.values())
+
+    def test_small_ops_stay_inline(self):
+        with repro.device("/gpu:0"):
+            a = repro.constant(np.float32(2.0))
+            out = repro.add(a, a).numpy()
+        assert float(out) == 4.0

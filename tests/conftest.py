@@ -66,6 +66,14 @@ def _reset_context_knobs():
     context._serving_max_batch = Context._serving_max_batch_from_env()
     context._serving_queue_depth = Context._serving_queue_depth_from_env()
     context._serving_timeout_ms = Context._serving_timeout_from_env()
+    # Kernel backend: direct attribute reset — array_backend() re-resolves
+    # lazily by name, so no object to restore.
+    context._kernel_backend = Context._kernel_backend_from_env()
+    # Process devices: use the property setter so a test that turned
+    # workers on has them shut down (idempotent when already off).
+    env_proc = Context._process_devices_from_env()
+    if context._process_devices != env_proc:
+        context.process_devices = env_proc
     # Interceptors registered during the test and never unregistered.
     for it in tuple(dispatch.core._interceptors):
         if it not in interceptors_before:

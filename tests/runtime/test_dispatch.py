@@ -114,7 +114,7 @@ class TestKernelCache:
         x = repro.constant(1.0)
         repro.add(x, x)
         repro.sync()  # async mode resolves the kernel on the stream worker
-        key = ("Add", "CPU", (repro.float32, repro.float32))
+        key = ("Add", "CPU", (repro.float32, repro.float32), "numpy")
         assert key in dispatch.core._kernel_cache
         assert dispatch.core._kernel_cache[key] is registry.get_kernel("Add", "CPU")
 
