@@ -1,0 +1,108 @@
+"""Machine-readable benchmark results: ``BENCH_<name>.json`` emission.
+
+Every ``run_*.py`` script prints human-oriented tables, but perf
+trajectories across PRs need numbers a driver can diff.  This module is
+the single schema for that: each script finishes by calling
+:func:`write_report` with its headline speedup, its acceptance bars,
+and any free-form metrics, and a ``BENCH_<name>.json`` file appears in
+the report directory (``$REPRO_BENCH_DIR`` or the current working
+directory).
+
+Schema (all keys always present)::
+
+    {
+      "name":     "lazy_eager",
+      "passed":   true,              # conjunction of every gated bar
+      "speedup":  3.1,               # headline number or null
+      "bars": [                      # acceptance criteria, gated or not
+        {"name": "lazy_vs_sync", "value": 3.1, "threshold": 1.5,
+         "op": ">=", "passed": true, "gated": true},
+        ...
+      ],
+      "metrics":  {...},             # free-form scalars for trending
+      "argv":     ["--quick"],       # how the run was invoked
+    }
+
+``passed`` considers only bars with ``gated=True`` — informational
+bars (controls, diagnostics) are recorded but never fail the report.
+Timestamps are intentionally absent: the driver keys artifacts by
+commit, and content-identical reruns should produce byte-identical
+files.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+from pathlib import Path
+from typing import Optional, Sequence
+
+_OPS = {
+    ">=": lambda v, t: v >= t,
+    "<=": lambda v, t: v <= t,
+    ">": lambda v, t: v > t,
+    "<": lambda v, t: v < t,
+}
+
+
+def bar(
+    name: str,
+    value: float,
+    threshold: float,
+    op: str = ">=",
+    gated: bool = True,
+) -> dict:
+    """One acceptance criterion: ``value op threshold``.
+
+    ``gated=False`` records the measurement without letting it fail the
+    report — use for noisy controls that are tracked but not enforced.
+    """
+    if op not in _OPS:
+        raise ValueError(f"unknown comparison {op!r}; use one of {sorted(_OPS)}")
+    return {
+        "name": name,
+        "value": float(value),
+        "threshold": float(threshold),
+        "op": op,
+        "passed": bool(_OPS[op](float(value), float(threshold))),
+        "gated": bool(gated),
+    }
+
+
+def report_dir() -> Path:
+    """Where ``BENCH_*.json`` files land (``$REPRO_BENCH_DIR`` or cwd)."""
+    return Path(os.environ.get("REPRO_BENCH_DIR", "."))
+
+
+def write_report(
+    name: str,
+    bars: Sequence[dict] = (),
+    metrics: Optional[dict] = None,
+    speedup: Optional[float] = None,
+) -> bool:
+    """Write ``BENCH_<name>.json``; return the aggregate pass verdict.
+
+    The verdict is the AND over gated bars (vacuously true), so scripts
+    can end with ``return 0 if write_report(...) else 1`` and keep their
+    exit-code contract.  The JSON is written atomically (tmp + rename)
+    so a killed run never leaves a truncated artifact for CI to upload.
+    """
+    bars = list(bars)
+    passed = all(b["passed"] for b in bars if b.get("gated", True))
+    payload = {
+        "name": name,
+        "passed": passed,
+        "speedup": None if speedup is None else float(speedup),
+        "bars": bars,
+        "metrics": dict(metrics or {}),
+        "argv": sys.argv[1:],
+    }
+    out_dir = report_dir()
+    out_dir.mkdir(parents=True, exist_ok=True)
+    path = out_dir / f"BENCH_{name}.json"
+    tmp = path.with_suffix(".json.tmp")
+    tmp.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    tmp.replace(path)
+    print(f"\n[report] wrote {path} (passed={passed})")
+    return passed

@@ -42,6 +42,7 @@ sys.path.insert(0, ".")
 import numpy as np
 
 import repro
+from benchmarks.report import bar, write_report
 
 ACCEPTANCE_RATIO = 1.5
 
@@ -116,7 +117,17 @@ def main() -> int:
             "submission ratio is the async win being measured"
         )
 
-    if ratio < ACCEPTANCE_RATIO:
+    ok = write_report(
+        "async_eager",
+        speedup=ratio,
+        bars=[bar("submission_throughput_ratio", ratio, ACCEPTANCE_RATIO)],
+        metrics={
+            "sync_submit_ops_per_s": sync_rate,
+            "async_submit_ops_per_s": async_rate,
+            "end_to_end_ratio": e2e_ratio,
+        },
+    )
+    if not ok:
         print(
             f"FAIL: async submission throughput only {ratio:.2f}x sync "
             f"(needs >= {ACCEPTANCE_RATIO}x)"

@@ -50,6 +50,7 @@ sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
 import numpy as np
 
 import repro
+from report import bar, write_report
 
 AG_VS_HAND_BAR = 1.1  # autograph step <= 1.1x handwritten step
 SYNC_SPEEDUP_BAR = 1.5  # autograph >= 1.5x faster than sync eager
@@ -186,6 +187,14 @@ def main() -> int:
     if best_speedup < sync_bar:
         print(f"FAIL: autograph only {best_speedup:.2f}x vs sync < {sync_bar:.2f}x")
         failed = True
+    write_report(
+        "autograph",
+        speedup=best_speedup,
+        bars=[
+            bar("autograph_vs_sync_speedup", best_speedup, sync_bar),
+            bar("autograph_vs_handwritten_ratio", best_ratio, hand_bar, op="<="),
+        ],
+    )
     return 1 if failed else 0
 
 

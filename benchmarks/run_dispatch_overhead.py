@@ -45,6 +45,7 @@ sys.path.insert(0, ".")
 import numpy as np
 
 import repro
+from benchmarks.report import bar, write_report
 from repro.graph.executor import GraphRunner
 from repro.graph.function import placeholder
 from repro.graph.graph import Graph
@@ -220,6 +221,22 @@ def main() -> int:
             f"(gate: 5% + 2pp noise allowance)"
         )
         failed = True
+    write_report(
+        "dispatch_overhead",
+        speedup=eager_us / graph_us,
+        bars=[
+            bar("graph_cheaper_than_eager", eager_us / graph_us, 1.0, op=">"),
+            bar("seam_overhead_pct", seam_pct, 7.0, op="<="),
+        ],
+        metrics={
+            "numpy_us_per_op": numpy_us,
+            "eager_us_per_op": eager_us,
+            "graph_us_per_node": graph_us,
+            "branchy_serial_ms": branchy_serial_s * 1e3,
+            "branchy_parallel_ms": branchy_parallel_s * 1e3,
+            "backend_us_per_op": backend_us,
+        },
+    )
     return 1 if failed else 0
 
 

@@ -31,6 +31,7 @@ sys.path.insert(0, ".")
 import numpy as np
 
 import repro
+from benchmarks.report import bar, write_report
 from repro.distribute import (
     ClusterSpec,
     DataParallelStrategy,
@@ -178,6 +179,26 @@ def main() -> int:
         failures.append(f"healthy-path overhead {overhead:.2f}% >= 5%")
     for failure in failures:
         print(f"FAIL: {failure}")
+    write_report(
+        "fault_tolerance",
+        bars=[
+            bar("kill_recovery_s", elapsed, deadline_ms / 1000.0, op="<"),
+            bar("transient_retries_absorbed", retries, 1, op=">="),
+            bar("transient_ops_succeeded", succeeded, 1, op=">="),
+            bar(
+                "healthy_path_overhead_pct",
+                overhead,
+                5.0,
+                op="<",
+                gated=args.quick,
+            ),
+        ],
+        metrics={
+            "baseline_us_per_op": baseline_us,
+            "guarded_us_per_op": guarded_us,
+            "chaos_mean_us_per_op": mean_us,
+        },
+    )
     return 1 if failures else 0
 
 

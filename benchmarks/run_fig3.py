@@ -17,6 +17,7 @@ import sys
 
 sys.path.insert(0, ".")
 
+from benchmarks.report import bar, write_report
 from benchmarks.workloads import MODES, ResNetTrainer, measure_examples_per_second
 
 LABELS = {"eager": "TFE", "function": "TFE + function", "v1": "TF"}
@@ -73,6 +74,20 @@ def main() -> None:
             for b in batch_sizes
         )
         print(f"{LABELS[mode]:>12} |{row}")
+
+    best_staging = max(
+        results["function"][b] / results["eager"][b] for b in batch_sizes
+    )
+    write_report(
+        "fig3",
+        speedup=best_staging,
+        bars=[bar("staged_vs_eager_best", best_staging, 1.0, gated=False)],
+        metrics={
+            f"{mode}_bs{b}_examples_per_s": results[mode][b]
+            for mode in MODES
+            for b in batch_sizes
+        },
+    )
 
 
 if __name__ == "__main__":

@@ -16,6 +16,7 @@ import sys
 
 sys.path.insert(0, ".")
 
+from benchmarks.report import bar, write_report
 from benchmarks.workloads import (
     MODES,
     L2HMCTrainer,
@@ -66,6 +67,20 @@ def main() -> None:
             f"{results['function'][n] / results['eager'][n]:5.1f}x   "
             f"TF: {results['v1'][n] / results['eager'][n]:5.1f}x"
         )
+
+    best_staging = max(
+        results["function"][n] / results["eager"][n] for n in sample_counts
+    )
+    write_report(
+        "fig4",
+        speedup=best_staging,
+        bars=[bar("staged_vs_eager_best", best_staging, 1.0, gated=False)],
+        metrics={
+            f"{mode}_n{n}_examples_per_s": results[mode][n]
+            for mode in MODES
+            for n in sample_counts
+        },
+    )
 
 
 if __name__ == "__main__":

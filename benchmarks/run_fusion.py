@@ -41,6 +41,7 @@ sys.path.insert(0, ".")
 import numpy as np
 
 import repro
+from benchmarks.report import bar, write_report
 from repro.runtime.context import context
 
 SPEEDUP_BAR = 1.5
@@ -280,6 +281,24 @@ def main() -> int:
             f"{max(chain_reduction, adam_reduction):.0%} < {PEAK_BYTES_BAR:.0%}"
         )
         failed = True
+    write_report(
+        "fusion",
+        speedup=max(chain_speedup, adam_speedup),
+        bars=[
+            bar("chain_speedup", chain_speedup, speedup_bar),
+            bar("adam_speedup", adam_speedup, speedup_bar),
+            bar(
+                "peak_bytes_reduction",
+                max(chain_reduction, adam_reduction),
+                PEAK_BYTES_BAR,
+            ),
+            bar("mlp_speedup", mlp_speedup, 1.0, gated=False),
+        ],
+        metrics={
+            "chain_peak_bytes_reduction": chain_reduction,
+            "adam_peak_bytes_reduction": adam_reduction,
+        },
+    )
     return 1 if failed else 0
 
 

@@ -57,6 +57,7 @@ import numpy as np
 
 import repro
 from repro.runtime import lazy, profiler
+from report import bar, write_report
 from run_fusion import (
     _adam_update,
     adam_inputs,
@@ -284,6 +285,19 @@ def main() -> int:
     if adam_speedup < sync_bar:
         print(f"FAIL: lazy only {adam_speedup:.2f}x vs sync < {sync_bar:.2f}x")
         failed = True
+    write_report(
+        "lazy_eager",
+        speedup=adam_speedup,
+        bars=[
+            bar("lazy_vs_sync_speedup", adam_speedup, sync_bar, op=">="),
+            bar("lazy_vs_staged_ratio", adam_ratio, staged_bar, op="<="),
+        ],
+        metrics={
+            "trace_hash_hit_rate": hit_rate,
+            "small_adam_lazy_vs_sync": small_best["sync"] / small_best["lazy"],
+            "mlp_lazy_vs_sync": mlp_best["sync"] / mlp_best["lazy"],
+        },
+    )
     return 1 if failed else 0
 
 

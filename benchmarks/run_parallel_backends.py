@@ -37,6 +37,7 @@ sys.path.insert(0, ".")
 import numpy as np
 
 import repro
+from benchmarks.report import bar, write_report
 from repro.graph.executor import GraphRunner
 from repro.graph.function import placeholder
 from repro.graph.graph import Graph
@@ -180,6 +181,27 @@ def main() -> int:
             f"(no physical parallelism available); mechanism verified"
         )
 
+    write_report(
+        "parallel_backends",
+        speedup=speedup,
+        bars=[
+            bar("ops_shipped_to_workers", shipped, 1, op=">="),
+            bar(
+                "parallel_proc_vs_serial",
+                speedup,
+                GATE_SPEEDUP,
+                gated=cores >= 2,
+            ),
+        ],
+        metrics={
+            "serial_s": serial_s,
+            "parallel_threads_s": thread_s,
+            "serial_proc_s": proc_serial_s,
+            "parallel_proc_s": proc_s,
+            "cores": cores,
+            "result_matches": not any("diverged" in f for f in failures),
+        },
+    )
     if failures:
         for f in failures:
             print(f"FAIL: {f}")

@@ -34,7 +34,7 @@ sys.path.insert(0, ".")
 import numpy as np
 
 import repro
-
+from benchmarks.report import bar, write_report
 
 HIDDEN = 32
 FEATURES = 16
@@ -144,6 +144,21 @@ def main() -> int:
         f"({exact['total_s'] / relaxed['total_s']:.1f}x faster batch sweep)"
     )
 
+    write_report(
+        "retrace",
+        speedup=exact["total_s"] / relaxed["total_s"],
+        bars=[
+            bar("relaxed_traces", relaxed["traces"], 2, op="<="),
+            bar("exact_traces", exact["traces"], len(batch_sizes), op="<="),
+        ],
+        metrics={
+            "exact_total_s": exact["total_s"],
+            "relaxed_total_s": relaxed["total_s"],
+            "exact_steady_us": exact["steady_us"],
+            "relaxed_steady_us": relaxed["steady_us"],
+            "relaxations": relaxed["stats"]["relaxations"],
+        },
+    )
     # Acceptance property: the whole sweep needs at most two traces
     # (exact on the first size, symbolic on the second).
     if relaxed["traces"] > 2:

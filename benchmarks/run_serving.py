@@ -32,6 +32,7 @@ sys.path.insert(0, ".")
 import numpy as np
 
 import repro
+from benchmarks.report import bar, write_report
 from repro.distribute import FaultInjector
 from repro.framework.errors import ReproError, ResourceExhaustedError
 from repro.serving import ModelServer
@@ -217,6 +218,28 @@ def main() -> int:
         f"A failed {faulted['a']['failed']} of "
         f"{faulted['a']['submitted']} requests, "
         f"B completed {faulted['b']['completed']})"
+    )
+    write_report(
+        "serving",
+        speedup=speedup,
+        bars=[
+            bar("max_batch_seen", stats["max_batch_seen"], 2, op=">="),
+            bar(
+                "coalescing_speedup",
+                speedup,
+                3.0,
+                gated=not args.quick,
+            ),
+            bar("neighbor_p99_ratio", ratio, 1.2, op="<="),
+            bar("healthy_model_failures", faulted["b"]["failed"], 0, op="<="),
+        ],
+        metrics={
+            "single_rps": single_rps,
+            "coalesced_rps": coalesced_rps,
+            "mean_batch_size": stats["mean_batch_size"],
+            "base_p99_ms": base_p99,
+            "fault_p99_ms": fault_p99,
+        },
     )
     assert faulted["a"]["failed"] > 0, "fault injection did not take"
     assert faulted["b"]["failed"] == 0, "healthy model saw failures"

@@ -23,6 +23,7 @@ import repro
 import repro.xla  # installs the TPU bridge
 from repro.runtime.context import context
 
+from benchmarks.report import bar, write_report
 from benchmarks.workloads import ResNetTrainer, measure_simulated_examples_per_second
 
 
@@ -74,6 +75,17 @@ def main() -> None:
     print(
         f"{'staging speedup':>34} |"
         + "".join(f"{s:8.1f}x" for s in speedups)
+    )
+
+    write_report(
+        "tab1",
+        speedup=max(speedups),
+        bars=[bar("staged_vs_eager_best", max(speedups), 1.0, gated=False)],
+        metrics={
+            f"{mode}_bs{b}_examples_per_s": rows[mode][b]
+            for mode in rows
+            for b in batch_sizes
+        },
     )
 
 

@@ -153,12 +153,17 @@ from repro.ops.script_ops import py_func
 from repro.core import (
     CompilationPipeline,
     ConcreteFunction,
+    ForwardAccumulator,
     FuncGraph,
     GradientTape,
     RetraceWarning,
     Variable,
     function,
+    hvp,
     init_scope,
+    jacobian,
+    jvp,
+    recompute_grad,
 )
 
 from repro.graph import Graph, GraphFunction

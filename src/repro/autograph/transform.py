@@ -930,6 +930,11 @@ def convert(fn: Callable) -> Callable:
     — generators, coroutines, lambdas, no retrievable source, no
     control flow — are returned unchanged.
     """
+    if isinstance(fn, types.MethodType):
+        converted = convert(fn.__func__)
+        if converted is fn.__func__:
+            return fn
+        return types.MethodType(converted, fn.__self__)
     if not isinstance(fn, types.FunctionType):
         return fn
     if is_converted(fn):

@@ -104,6 +104,7 @@ def imperative_grad(
     sources: Sequence,
     output_gradients: Sequence,
     unconnected_gradients: str = "none",
+    sync: bool = True,
 ) -> list:
     """Reverse sweep over recorded operations.
 
@@ -127,11 +128,15 @@ def imperative_grad(
     # Async/lazy eager modes: the recorded forward ops may still be in
     # flight (or merely recorded).  Replay must not start until they
     # (and any deferred error) have landed — gradient computation is a
-    # synchronization point.
-    from repro.runtime.context import context as _runtime_context
+    # synchronization point.  Internal callers that sweep a short,
+    # self-contained record list (the forward accumulator deriving a
+    # JVP per op) opt out: forcing a lazy flush per recorded op would
+    # shred pending traces into single-op segments.
+    if sync:
+        from repro.runtime.context import context as _runtime_context
 
-    if _runtime_context.executor_mode != "sync" and _runtime_context.executing_eagerly():
-        _runtime_context.sync()
+        if _runtime_context.executor_mode != "sync" and _runtime_context.executing_eagerly():
+            _runtime_context.sync()
     acc = _GradAccumulator()
     for target, seed in zip(targets, output_gradients):
         if target is None:

@@ -43,6 +43,7 @@ import functools
 import inspect
 import threading
 import warnings
+import weakref
 from typing import Callable, Optional, Sequence
 
 import numpy as np
@@ -66,6 +67,7 @@ __all__ = [
     "ConcreteFunction",
     "RetraceWarning",
     "SegmentCache",
+    "reset_retrace_warning_state",
 ]
 
 
@@ -187,6 +189,33 @@ _RETRACE_WARN_INTERVAL = 32
 #: when exceeded — routes re-record lazily on the next slow-path call.
 _FAST_KEY_LIMIT = 1024
 
+#: How many distinct concrete input-shape tuples a symbolic trace
+#: remembers for per-specialization memory-plan reporting.
+_SEEN_SHAPE_LIMIT = 8
+
+#: Every live Function, so test harnesses can reset the rate-limited
+#: RetraceWarning state between tests (the warn interval otherwise
+#: suppresses warnings across test boundaries).
+_LIVE_FUNCTIONS: "weakref.WeakSet" = weakref.WeakSet()
+
+
+def reset_retrace_warning_state() -> None:
+    """Reset every live Function's retrace-churn warning state.
+
+    The RetraceWarning machinery is deliberately rate-limited
+    (``_RETRACE_WARN_INTERVAL`` calls between warnings, a sliding
+    window of recent traces): correct for a long-lived program, wrong
+    across test boundaries, where one test's churn can suppress — or
+    trigger — another test's warning.  Harnesses call this alongside
+    the context-knob resets.
+    """
+    for fn in list(_LIVE_FUNCTIONS):
+        with fn._lock:
+            fn._recent_traces.clear()
+            fn._call_index = 0
+            fn._last_warn_index = None
+            fn._last_trace_key = None
+
 
 def _describe_key_leaf(leaf) -> str:
     if isinstance(leaf, tuple) and leaf and leaf[0] == "tensor":
@@ -243,6 +272,14 @@ class ConcreteFunction:
         self._compile_lock = threading.Lock()
         self._forward_backward = None
         self._fb_lock = threading.Lock()
+        # Concrete input-shape tuples this trace has actually run with,
+        # LRU-bounded; only populated when the signature has symbolic
+        # dims.  ``execution_stats`` builds a specialized memory plan
+        # per remembered shape (cached in ``_specialized_plans``) so a
+        # symbolic trace still reports concrete peak-live-bytes.
+        self._symbolic: Optional[bool] = None
+        self._seen_shapes: collections.OrderedDict = collections.OrderedDict()
+        self._specialized_plans: dict = {}
 
     # -- introspection --------------------------------------------------------
     @property
@@ -260,6 +297,8 @@ class ConcreteFunction:
     def __call__(self, *flat_tensor_args):
         """Invoke with flat tensor inputs (structure handled by Function)."""
         full_inputs = list(flat_tensor_args) + self.captured_externals
+        if self._symbolic is not False:
+            self._note_shapes(full_inputs)
         if records.could_record(full_inputs):
             flat_results = self._call_with_tape(full_inputs)
         else:
@@ -321,6 +360,56 @@ class ConcreteFunction:
                 self._compiled_cache[key] = compiled
         return compiled or None
 
+    def _note_shapes(self, full_inputs: list) -> None:
+        """Remember the concrete shapes a symbolic trace runs with."""
+        if self._symbolic is None:
+            self._symbolic = not all(
+                spec.is_fully_defined
+                for spec in self.graph_function.input_specs
+            )
+        if not self._symbolic:
+            return
+        try:
+            key = tuple(t.shape.as_tuple() for t in full_inputs)
+        except Exception:
+            return  # e.g. an async tensor whose shape is unresolved
+        with self._compile_lock:
+            if key in self._seen_shapes:
+                self._seen_shapes.move_to_end(key)
+                return
+            self._seen_shapes[key] = True
+            while len(self._seen_shapes) > _SEEN_SHAPE_LIMIT:
+                evicted, _ = self._seen_shapes.popitem(last=False)
+                self._specialized_plans.pop(evicted, None)
+
+    def specialized_memory_plan(self, shapes: tuple) -> Optional[dict]:
+        """The static memory plan at one concrete input-shape tuple.
+
+        Specializes the (symbolic) trace to ``shapes`` through the
+        pipeline — no Python re-execution — and returns the resulting
+        plan's memory report, cached per shape tuple.  Returns None when
+        specialization fails (e.g. the shapes are incompatible).
+        """
+        with self._compile_lock:
+            plan = self._specialized_plans.get(shapes)
+        if plan is not None:
+            return plan
+        gf = self.graph_function
+        if len(shapes) != len(gf.input_specs):
+            return None
+        specs = [
+            TensorSpec(shape, spec.dtype)
+            for shape, spec in zip(shapes, gf.input_specs)
+        ]
+        try:
+            specialized = self.pipeline.specialize(gf, specs)
+            plan = dict(specialized.plan().memory_plan or {})
+        except Exception:
+            return None
+        with self._compile_lock:
+            self._specialized_plans[shapes] = plan
+        return plan
+
     def release(self) -> None:
         """Drop derived artifacts so an evicted trace frees its memory.
 
@@ -331,6 +420,7 @@ class ConcreteFunction:
         """
         with self._compile_lock:
             self._compiled_cache.clear()
+            self._specialized_plans.clear()
         with self._fb_lock:
             if not isinstance(self._forward_backward, Exception):
                 self._forward_backward = None
@@ -579,6 +669,7 @@ class Function:
             self._signature = inspect.signature(python_function)
         except (TypeError, ValueError):
             self._signature = None
+        _LIVE_FUNCTIONS.add(self)
 
     # -- public surface -------------------------------------------------------
     @property
@@ -614,8 +705,14 @@ class Function:
         cache levels), each reporting the fusion outcome (node counts
         before/after the ``fuse`` pass, fused-region sizes from largest
         to smallest) and the executor's static memory plan (peak
-        planned live bytes, in-place donation count).  When the
-        concrete function has already built its staged
+        planned live bytes, in-place donation count, plus the byte size
+        of the trace's own input signature — inputs are caller-held and
+        count zero inside the plan).  A symbolic (shape-relaxed) trace
+        reports its plan as a lower bound and additionally lists a
+        ``specializations`` entry with the concrete peak-live-bytes for
+        every input-shape tuple it has actually run with (built on
+        demand via pipeline specialization, cached per shape).  When
+        the concrete function has already built its staged
         forward/backward pair, those graphs are reported too — the
         backward function runs through the same fusion pass.
 
@@ -625,11 +722,18 @@ class Function:
         ``with Profile()`` block) and the report includes its per-op
         timing table; fused regions appear under ``FusedElementwise``.
         """
+        from repro.graph.fusion import _spec_bytes
         from repro.runtime import profiler as _profiler
 
         def describe(role: str, gf) -> dict:
             fstats = getattr(gf, "_fusion_stats", None)
             plan = gf.plan().memory_plan or {}
+            input_bytes = 0
+            input_lb = False
+            for spec in gf.input_specs:
+                nbytes, lb = _spec_bytes(spec)
+                input_bytes += nbytes
+                input_lb |= lb
             return {
                 "role": role,
                 "name": gf.name,
@@ -644,6 +748,13 @@ class Function:
                 "peak_live_bytes": plan.get("peak_live_bytes", 0),
                 "peak_is_lower_bound": plan.get("lower_bound", False),
                 "donated_nodes": plan.get("donated_nodes", 0),
+                # Inputs are caller-held buffers the plan itself counts
+                # as zero-byte placeholders; reporting them lets callers
+                # compare configurations whose split between "saved by
+                # the caller" and "live inside the graph" differs (e.g.
+                # checkpointed vs not).
+                "input_bytes": input_bytes,
+                "input_bytes_is_lower_bound": input_lb,
             }
 
         with self._lock:
@@ -654,6 +765,29 @@ class Function:
         for concrete in concretes:
             trace = describe("forward", concrete.graph_function)
             trace["trace"] = concrete.name
+            with concrete._compile_lock:
+                seen_shapes = list(concrete._seen_shapes)
+            if seen_shapes:
+                # Symbolic trace: the plan above is a lower bound over
+                # unknown dims.  Report the concrete number for every
+                # shape this trace has actually run with.
+                specializations = []
+                for shape_key in seen_shapes:
+                    plan = concrete.specialized_memory_plan(shape_key)
+                    if plan is None:
+                        continue
+                    specializations.append(
+                        {
+                            "input_shapes": [list(s) for s in shape_key],
+                            "peak_live_bytes": plan.get("peak_live_bytes", 0),
+                            "peak_is_lower_bound": plan.get(
+                                "lower_bound", False
+                            ),
+                            "donated_nodes": plan.get("donated_nodes", 0),
+                        }
+                    )
+                if specializations:
+                    trace["specializations"] = specializations
             fb = concrete._forward_backward
             if fb is not None and not isinstance(fb, Exception):
                 trace["staged_forward"] = describe("staged_forward", fb.forward_fn)

@@ -59,6 +59,24 @@ from repro.graph.graph import Graph, Node, SymbolicTensor
 
 __all__ = ["execute_graph", "GraphRunner", "shutdown_thread_pool"]
 
+
+def _callee_peak_bytes(value) -> Optional[tuple[int, bool]]:
+    """(peak_live_bytes, lower_bound) of a graph-function-valued attr.
+
+    Returns None for attr values that are not graph functions.  The
+    callee's plan is built on demand and cached on the callee, so this
+    costs one plan build per distinct function; a callee whose plan
+    cannot be built (e.g. an unexecutable branch under symbolic shapes)
+    contributes nothing rather than failing the caller's plan.
+    """
+    if not (hasattr(value, "plan") and hasattr(value, "graph")):
+        return None
+    try:
+        inner = value.plan().memory_plan or {}
+    except Exception:
+        return None
+    return inner.get("peak_live_bytes", 0), bool(inner.get("lower_bound", False))
+
 _POOL: Optional[ThreadPoolExecutor] = None
 _POOL_LOCK = threading.Lock()
 
@@ -339,6 +357,18 @@ class GraphRunner:
                 region = attrs["region"]
                 peak = max(peak, live + region.internal_peak_bytes)
                 lower |= region.peak_is_lower_bound
+            else:
+                # A node that runs a nested graph function (a staged
+                # call, a rematerialized segment, a control-flow branch
+                # or body) holds that callee's working set live on top
+                # of ours while it executes.  Without this, the plan
+                # would claim a checkpointed graph has no recompute
+                # cost — the peak the planner exists to report.
+                for value in (attrs or {}).values():
+                    inner = _callee_peak_bytes(value)
+                    if inner is not None:
+                        peak = max(peak, live + inner[0])
+                        lower |= inner[1]
             transferred = 0
             if donate is not None:
                 donated += 1

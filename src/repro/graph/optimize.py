@@ -47,7 +47,15 @@ def _attr_key(attrs: dict):
     items = []
     for k in sorted(attrs):
         v = attrs[k]
-        if isinstance(v, np.ndarray):
+        if k == "_remat_scope":
+            # Rematerialization scope (see repro.core.recompute): nodes
+            # replayed into a backward section are tagged so CSE can
+            # dedup *within* one recomputed region but never merge a
+            # recomputed node with its identical forward original (or
+            # with another scope's copy) — that would silently undo the
+            # checkpoint and re-extend the intermediate's lifetime.
+            items.append((k, ("remat", str(v))))
+        elif isinstance(v, np.ndarray):
             items.append((k, ("ndarray", v.shape, str(v.dtype), v.tobytes())))
         elif isinstance(v, TensorShape):
             # Explicit encoding so a symbolic shape ([2, None]) can
@@ -229,7 +237,14 @@ def _final(replacements: dict, key):
 
 
 def cse(fn) -> int:
-    """Merge identical stateless operations."""
+    """Merge identical stateless operations.
+
+    Nodes spliced in by gradient checkpointing carry a ``_remat_scope``
+    attr that participates in the signature: a recomputed node never
+    merges with the forward node it shadows, so the checkpoint's memory
+    behavior survives this pass (duplicates *within* one scope still
+    merge — they share the tag).
+    """
     graph: Graph = fn.graph
     seen: dict = {}
     replacements: dict = {}

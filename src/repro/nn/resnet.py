@@ -8,6 +8,15 @@ shrinking spatial extent and width so the sweep completes on CPU-only
 hardware.  Both execution modes are scaled identically, so the
 imperative-vs-staged comparison shape is preserved (see DESIGN.md,
 substitutions).
+
+``checkpoint_blocks=True`` wraps every residual block in
+:func:`repro.recompute_grad`: under a tape, only the per-block boundary
+activations stay live and each block's internals are rematerialized
+during the backward pass — the sublinear-memory training configuration
+the checkpoint benchmark measures.  Note the recompute caveat: a
+checkpointed block runs once forward and once per backward sweep, so
+batch-norm moving-statistic updates (``training=True``) apply twice per
+step in this configuration.
 """
 
 from __future__ import annotations
@@ -61,7 +70,13 @@ class Bottleneck(Model):
 
 
 class ResNet(Model):
-    """Configurable bottleneck ResNet over NHWC inputs."""
+    """Configurable bottleneck ResNet over NHWC inputs.
+
+    Args:
+        checkpoint_blocks: wrap each residual block in
+            ``recompute_grad`` so its internal activations are
+            rematerialized in the backward pass instead of saved.
+    """
 
     def __init__(
         self,
@@ -71,6 +86,7 @@ class ResNet(Model):
         stem_kernel: int = 7,
         stem_stride: int = 2,
         stem_pool: bool = True,
+        checkpoint_blocks: bool = False,
         name: Optional[str] = None,
     ) -> None:
         super().__init__(name=name or "resnet")
@@ -86,6 +102,17 @@ class ResNet(Model):
                 blocks.append(Bottleneck(filters, stride=stride, downsample=downsample))
             filters *= 2
         self.blocks = blocks
+        self.checkpoint_blocks = checkpoint_blocks
+        if checkpoint_blocks:
+            from repro.core.recompute import recompute_grad
+
+            # One wrapper per block, built once (repeated calls reuse the
+            # same callable; the REPRO_RECOMPUTE knob is consulted at call
+            # time inside the wrapper).  Plain functions, so this extra
+            # attribute adds no edges to the checkpoint object graph.
+            self._block_calls = [recompute_grad(b) for b in blocks]
+        else:
+            self._block_calls = None
         self.global_pool = GlobalAveragePooling2D()
         self.classifier = Dense(num_classes)
 
@@ -93,18 +120,25 @@ class ResNet(Model):
         y = nn_ops.relu(self.stem_bn(self.stem(x, training), training))
         if self.stem_pool is not None:
             y = self.stem_pool(y, training)
-        for block in self.blocks:
+        for block in self._block_calls if self._block_calls is not None else self.blocks:
             y = block(y, training=training)
         y = self.global_pool(y, training)
         return self.classifier(y, training)
 
 
-def resnet50(num_classes: int = 1000) -> ResNet:
+def resnet50(num_classes: int = 1000, checkpoint_blocks: bool = False) -> ResNet:
     """The standard ResNet-50 (paper §6 workload)."""
-    return ResNet((3, 4, 6, 3), base_width=64, num_classes=num_classes)
+    return ResNet(
+        (3, 4, 6, 3),
+        base_width=64,
+        num_classes=num_classes,
+        checkpoint_blocks=checkpoint_blocks,
+    )
 
 
-def resnet50_scaled(num_classes: int = 100, width: int = 8) -> ResNet:
+def resnet50_scaled(
+    num_classes: int = 100, width: int = 8, checkpoint_blocks: bool = False
+) -> ResNet:
     """ResNet-50 depth and structure at reduced width for CPU benchmarks.
 
     Identical operation count per step to ``resnet50`` (same 16
@@ -119,10 +153,11 @@ def resnet50_scaled(num_classes: int = 100, width: int = 8) -> ResNet:
         stem_kernel=3,
         stem_stride=1,
         stem_pool=True,
+        checkpoint_blocks=checkpoint_blocks,
     )
 
 
-def resnet_tiny(num_classes: int = 10) -> ResNet:
+def resnet_tiny(num_classes: int = 10, checkpoint_blocks: bool = False) -> ResNet:
     """A 2-stage toy ResNet for fast unit/integration tests."""
     return ResNet(
         (1, 1),
@@ -131,4 +166,5 @@ def resnet_tiny(num_classes: int = 10) -> ResNet:
         stem_kernel=3,
         stem_stride=1,
         stem_pool=False,
+        checkpoint_blocks=checkpoint_blocks,
     )

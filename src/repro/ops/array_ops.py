@@ -682,6 +682,18 @@ def _gather_grad_kernel(inputs, attrs, device):
     return out
 
 
+@register_gradient("GatherGrad")
+def _gather_grad_grad(op, grad):
+    # Scatter-add is linear; its derivative reads the scattered slots
+    # back out — the matching Gather.  Needed for second-order gradients
+    # through embedding-style lookups.
+    from repro.runtime.executor import execute
+
+    indices = op.inputs[1]
+    g = execute("Gather", [grad, indices], {"axis": op.attrs.get("axis", 0)})
+    return [g, None, None]
+
+
 def gather(params, indices, axis: int = 0):
     """Gather slices of ``params`` at ``indices`` along ``axis``."""
     from repro.runtime.executor import execute
@@ -1207,6 +1219,16 @@ def _strided_slice_grad_kernel(inputs, attrs, device):
     # view with no duplicate elements and += accumulates correctly.
     out[_key_to_numpy(attrs["key"])] += grad
     return out
+
+
+@register_gradient("StridedSliceGrad")
+def _strided_slice_grad_grad(op, grad):
+    # The scatter is linear: its derivative is reading the same slice
+    # back out.  Needed for higher-order gradients through indexing
+    # (e.g. hvp of a scan that iterates tensor rows).
+    from repro.runtime.executor import execute
+
+    return [execute("StridedSlice", [grad], {"key": op.attrs["key"]}), None]
 
 
 def slice_helper(x, key):

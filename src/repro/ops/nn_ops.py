@@ -283,10 +283,21 @@ def _xent_kernel(inputs, attrs, device):
 
 @register_gradient("SoftmaxCrossEntropyWithLogits")
 def _xent_grad(op, grad_loss, grad_backprop):
-    from repro.ops import array_ops
+    from repro.ops import array_ops, math_ops
 
-    backprop = op.outputs[1]
-    g = array_ops.expand_dims(grad_loss, -1) * backprop
+    g = None
+    if grad_loss is not None:
+        g = array_ops.expand_dims(grad_loss, -1) * op.outputs[1]
+    if grad_backprop is not None:
+        # Second-order path: the backward pass consumed outputs[1]
+        # (softmax - labels), so its gradient flows back through the
+        # softmax Jacobian, J^T u = p*u - p*<p, u>.
+        p = softmax(op.inputs[0])
+        second = p * (
+            grad_backprop
+            - math_ops.reduce_sum(grad_backprop * p, axis=-1, keepdims=True)
+        )
+        g = second if g is None else g + second
     return [g, None]
 
 
@@ -476,12 +487,48 @@ def _conv2d_backprop_input_kernel(inputs, attrs, device):
     return _col2im(cols, tuple(x_shape), kh, kw, sh, sw, pads)
 
 
+@register_gradient("Conv2DBackpropInput")
+def _conv2d_backprop_input_grad(op, grad):
+    # gx = backprop_input(gy, w) is bilinear in (gy, w).  With upstream
+    # u shaped like x: d/dgy <u, gx> is the forward conv of u with w,
+    # and d/dw <u, gx> = d/dw <gy, conv(u, w)> is backprop_filter(u, gy).
+    from repro.runtime.executor import execute
+
+    gy, filters = op.inputs
+    base = {"strides": op.attrs["strides"], "padding": op.attrs["padding"]}
+    ggy = execute("Conv2D", [grad, filters], base)
+    gw = execute(
+        "Conv2DBackpropFilter",
+        [grad, gy],
+        {**base, "filter_shape": tuple(filters.shape.as_list())},
+    )
+    return [ggy, gw]
+
+
 register_op(
     "Conv2DBackpropFilter",
     infer_fn=lambda inputs, attrs: [
         TensorSpec(TensorShape(attrs["filter_shape"]), inputs[0].dtype)
     ],
 )
+
+
+@register_gradient("Conv2DBackpropFilter")
+def _conv2d_backprop_filter_grad(op, grad):
+    # gf = backprop_filter(x, gy) is bilinear in (x, gy).  With upstream
+    # u shaped like the filter: d/dx <u, gf> = backprop_input(gy, u) and
+    # d/dgy <u, gf> = conv(x, u).
+    from repro.runtime.executor import execute
+
+    x, gy = op.inputs
+    base = {"strides": op.attrs["strides"], "padding": op.attrs["padding"]}
+    gx = execute(
+        "Conv2DBackpropInput",
+        [gy, grad],
+        {**base, "input_shape": tuple(x.shape.as_list())},
+    )
+    ggy = execute("Conv2D", [x, grad], base)
+    return [gx, ggy]
 
 
 @register_kernel("Conv2DBackpropFilter")
@@ -607,6 +654,54 @@ def _max_pool_grad_kernel(inputs, attrs, device):
     cols = (mask / ties) * grad[..., None, None]
     cols = np.transpose(cols, (0, 1, 2, 4, 5, 3))  # N,OH,OW,KH,KW,C
     return _col2im(cols.astype(grad.dtype), x.shape, kh, kw, sh, sw, (pt, pb, pl, pr))
+
+
+@register_gradient("MaxPoolGrad")
+def _max_pool_grad_grad(op, grad):
+    # Holding the argmax selection fixed (the piecewise-linear view),
+    # the scatter is linear in its grad input; its transpose gathers the
+    # upstream back through the same max mask.  x and out get no
+    # gradient (their dependence is discontinuous / measure-zero).
+    from repro.runtime.executor import execute
+
+    x, out, _ = op.inputs
+    return [
+        None,
+        None,
+        execute("MaxPoolGradGrad", [x, out, grad], dict(op.attrs)),
+    ]
+
+
+register_op(
+    "MaxPoolGradGrad",
+    infer_fn=lambda inputs, attrs: [TensorSpec(inputs[1].shape, inputs[2].dtype)],
+)
+
+
+@register_kernel("MaxPoolGradGrad")
+def _max_pool_grad_grad_kernel(inputs, attrs, device):
+    x, out, u = inputs
+    kh, kw = attrs["ksize"]
+    sh, sw = attrs["strides"]
+    if attrs["padding"] == "SAME":
+        pt, pb = _same_pads(x.shape[1], kh, sh)
+        pl, pr = _same_pads(x.shape[2], kw, sw)
+    else:
+        pt = pb = pl = pr = 0
+    xp, up = x, u
+    if pt or pb or pl or pr:
+        pads = ((0, 0), (pt, pb), (pl, pr), (0, 0))
+        xp = np.pad(x, pads, constant_values=-np.inf)
+        up = np.pad(u, pads)  # zeros: padded slots carry no upstream
+    xw = np.lib.stride_tricks.sliding_window_view(xp, (kh, kw), axis=(1, 2))[
+        :, ::sh, ::sw
+    ]
+    uw = np.lib.stride_tricks.sliding_window_view(up, (kh, kw), axis=(1, 2))[
+        :, ::sh, ::sw
+    ]
+    mask = xw == out[..., None, None]
+    ties = mask.sum(axis=(-2, -1), keepdims=True)
+    return (uw * mask / ties).sum(axis=(-2, -1)).astype(u.dtype)
 
 
 register_op("AvgPool", infer_fn=_pool_infer)

@@ -81,6 +81,7 @@ class Context:
         self._trace_cache_size = self._trace_cache_size_from_env()
         self._graph_fusion = self._graph_fusion_from_env()
         self._autograph = self._autograph_from_env()
+        self._recompute = self._recompute_from_env()
         self._serving_max_batch = self._serving_max_batch_from_env()
         self._serving_queue_depth = self._serving_queue_depth_from_env()
         self._serving_timeout_ms = self._serving_timeout_from_env()
@@ -171,6 +172,14 @@ class Context:
         # Default ON: every `function` lowers tensor-dependent Python
         # control flow at trace time; REPRO_AUTOGRAPH=0 is the opt-out.
         raw = os.environ.get("REPRO_AUTOGRAPH", "1").strip().lower()
+        return raw in ("1", "true", "yes", "on")
+
+    @staticmethod
+    def _recompute_from_env() -> bool:
+        # Default ON: `recompute_grad` honors its wrapping.  Flipping
+        # REPRO_RECOMPUTE=0 turns every wrapper into a no-op, the cheap
+        # A/B switch for the memory/compute trade.
+        raw = os.environ.get("REPRO_RECOMPUTE", "1").strip().lower()
         return raw in ("1", "true", "yes", "on")
 
     @staticmethod
@@ -383,6 +392,24 @@ class Context:
     @autograph.setter
     def autograph(self, value: bool) -> None:
         self._autograph = bool(value)
+
+    @property
+    def recompute(self) -> bool:
+        """Whether ``recompute_grad`` wrappers actually checkpoint.
+
+        When on (the default), a wrapped segment saves only its
+        boundary for the backward pass and rematerializes its
+        intermediates.  Initialised from ``REPRO_RECOMPUTE`` (default
+        **on**; set ``0`` to opt out) — with it off every wrapper is an
+        identity, so one env flip A/Bs the memory/compute trade on an
+        unmodified model.  Applies to calls made afterwards; a staged
+        trace keeps whatever the knob said when it was traced.
+        """
+        return self._recompute
+
+    @recompute.setter
+    def recompute(self, value: bool) -> None:
+        self._recompute = bool(value)
 
     @property
     def trace_cache_size(self) -> int:

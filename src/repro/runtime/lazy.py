@@ -330,6 +330,19 @@ class LazyTrace:
                 # still produce values.
                 self._replay(recs)
                 return
+            try:
+                seg_peak = (artifact.fn.plan().memory_plan or {}).get(
+                    "peak_live_bytes", 0
+                )
+            except Exception:
+                seg_peak = 0
+            if seg_peak > _stats["max_segment_peak_bytes"]:
+                # The high-water mark across flushed segments: the lazy
+                # analogue of a staged trace's peak-live-bytes, and what
+                # the checkpoint benchmark reads to show that dropping
+                # tape references (recompute_grad) actually shrinks the
+                # planned working set of the flushed graphs.
+                _stats["max_segment_peak_bytes"] = seg_peak
             per_record: dict[int, list] = {}
             for (k, j), value in zip(fetches, values):
                 outs = per_record.get(k)
@@ -529,6 +542,7 @@ _stats = {
     "dead_flushes": 0,
     "replays": 0,
     "relaxed_segments": 0,
+    "max_segment_peak_bytes": 0,
 }
 
 

@@ -62,7 +62,14 @@ def _reset_context_knobs():
     context._trace_cache_size = Context._trace_cache_size_from_env()
     context._graph_fusion = Context._graph_fusion_from_env()
     context._autograph = Context._autograph_from_env()
+    context._recompute = Context._recompute_from_env()
     repro.tensor._specialization_warned_sites.clear()
+    # RetraceWarning state is rate-limited per Function; a warning
+    # consumed (or suppressed) by one test must not change whether the
+    # next test sees one.
+    from repro.core.function import reset_retrace_warning_state
+
+    reset_retrace_warning_state()
     context._serving_max_batch = Context._serving_max_batch_from_env()
     context._serving_queue_depth = Context._serving_queue_depth_from_env()
     context._serving_timeout_ms = Context._serving_timeout_from_env()

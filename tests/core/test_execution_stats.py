@@ -1,0 +1,112 @@
+"""execution_stats() memory reporting and retrace-warning state resets.
+
+Satellites of ISSUE 10: a symbolic (shape-relaxed) trace's static plan
+is only a lower bound over unknown dims, so ``execution_stats`` must
+additionally report the concrete per-specialization peak for shapes the
+trace has actually run with; and the rate-limited RetraceWarning state
+must be resettable between tests.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+import numpy as np
+import pytest
+
+import repro
+from repro.core.function import (
+    RetraceWarning,
+    reset_retrace_warning_state,
+)
+
+
+def _mlp(x):
+    w = repro.constant(np.ones((8, 16)), dtype=repro.float64)
+    return repro.tanh(repro.matmul(x, w))
+
+
+class TestSpecializedMemoryReporting:
+    def test_static_trace_has_no_specializations(self):
+        fn = repro.function(_mlp)
+        fn(repro.constant(np.ones((4, 8)), dtype=repro.float64))
+        (trace,) = fn.execution_stats()["traces"]
+        assert "specializations" not in trace
+        assert trace["peak_live_bytes"] > 0
+        assert not trace["peak_is_lower_bound"]
+
+    def test_symbolic_trace_reports_per_shape_peaks(self):
+        fn = repro.function(
+            _mlp, input_signature=[repro.TensorSpec([None, 8], repro.float64)]
+        )
+        fn(repro.constant(np.ones((2, 8)), dtype=repro.float64))
+        fn(repro.constant(np.ones((32, 8)), dtype=repro.float64))
+        (trace,) = fn.execution_stats()["traces"]
+        # The symbolic plan cannot price the None dim.
+        assert trace["peak_is_lower_bound"]
+        specs = trace["specializations"]
+        assert len(specs) == 2
+        by_batch = {s["input_shapes"][0][0]: s for s in specs}
+        assert set(by_batch) == {2, 32}
+        for s in specs:
+            assert s["peak_live_bytes"] > 0
+            assert not s["peak_is_lower_bound"]
+        # Peak grows with batch, and at least covers the hidden
+        # activation ([batch, 16] float64) at each specialization.
+        assert by_batch[32]["peak_live_bytes"] > by_batch[2]["peak_live_bytes"]
+        assert by_batch[32]["peak_live_bytes"] >= 32 * 16 * 8
+
+    def test_seen_shapes_are_bounded(self):
+        from repro.core.function import _SEEN_SHAPE_LIMIT
+
+        fn = repro.function(
+            lambda x: x * 2.0,
+            input_signature=[repro.TensorSpec([None], repro.float64)],
+        )
+        for n in range(1, _SEEN_SHAPE_LIMIT + 5):
+            fn(repro.constant(np.ones(n), dtype=repro.float64))
+        (trace,) = fn.execution_stats()["traces"]
+        assert len(trace["specializations"]) == _SEEN_SHAPE_LIMIT
+
+    def test_input_bytes_reported(self):
+        fn = repro.function(_mlp)
+        fn(repro.constant(np.ones((4, 8)), dtype=repro.float64))
+        (trace,) = fn.execution_stats()["traces"]
+        assert trace["input_bytes"] == 4 * 8 * 8
+        assert not trace["input_bytes_is_lower_bound"]
+
+
+class TestRetraceWarningReset:
+    def _churn(self, fn, start, stop):
+        for n in range(start, stop):
+            fn(repro.constant(np.ones(n), dtype=repro.float64))
+
+    def test_reset_clears_rate_limit_suppression(self):
+        # relax_shapes off so every new shape is a retrace.
+        fn = repro.function(lambda x: x + 1.0, experimental_relax_shapes=False)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", RetraceWarning)
+            with pytest.raises(RetraceWarning):
+                self._churn(fn, 1, 10)
+        # Immediately after a warning the interval suppresses the next
+        # one...
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", RetraceWarning)
+            self._churn(fn, 10, 14)
+        # ...but a reset (what the test harness does between tests)
+        # restores a clean slate: fresh churn warns again.
+        reset_retrace_warning_state()
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", RetraceWarning)
+            with pytest.raises(RetraceWarning):
+                self._churn(fn, 14, 23)
+
+    def test_reset_is_idempotent_and_total(self):
+        fn = repro.function(lambda x: x * 1.0)
+        self._churn(fn, 1, 4)
+        reset_retrace_warning_state()
+        reset_retrace_warning_state()
+        assert fn._call_index == 0
+        assert len(fn._recent_traces) == 0
+        assert fn._last_trace_key is None
+        assert fn._last_warn_index is None

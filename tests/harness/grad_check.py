@@ -99,3 +99,122 @@ def check_gradient(
 ) -> None:
     """Single-input convenience wrapper around :func:`check_gradients`."""
     check_gradients(op_fn, [x_np], eps=eps, rtol=rtol, atol=atol)
+
+
+def numeric_jvp(
+    f: Callable, x: np.ndarray, v: np.ndarray, eps: float = 1e-3
+) -> np.ndarray:
+    """Central-difference directional derivative of ``f`` at ``x`` along ``v``.
+
+    ``f`` maps a float64 ndarray to a float64 ndarray (any output
+    shape); one perturbation along the whole direction suffices, which
+    is exactly the cost profile forward mode has analytically.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    v = np.asarray(v, dtype=np.float64)
+    hi = np.asarray(f(x + eps * v), dtype=np.float64)
+    lo = np.asarray(f(x - eps * v), dtype=np.float64)
+    return (hi - lo) / (2 * eps)
+
+
+def check_jvp(
+    fn: Callable,
+    x_np: np.ndarray,
+    v_np: np.ndarray = None,
+    eps: float = 1e-3,
+    rtol: float = 1e-2,
+    atol: float = 1e-3,
+) -> None:
+    """Assert forward-mode ``jvp`` agrees with central differences.
+
+    The forward-over-reverse implementation shares the gradient
+    registry with the tape, so this simultaneously exercises each op's
+    VJP rule under a second (forward) transposition.
+    """
+    x = np.asarray(x_np, dtype=np.float64)
+    if v_np is None:
+        v_np = np.random.default_rng(7).standard_normal(x.shape)
+    v = np.asarray(v_np, dtype=np.float64)
+    xt = repro.constant(x, dtype=repro.float64)
+    vt = repro.constant(v, dtype=repro.float64)
+    _, tangent = repro.jvp(lambda t: fn(t), [xt], [vt])
+    analytic = np.asarray(tangent.numpy(), dtype=np.float64)
+
+    def host_fn(arr):
+        return fn(repro.constant(arr, dtype=repro.float64)).numpy()
+
+    numeric = numeric_jvp(host_fn, x, v, eps=eps)
+    np.testing.assert_allclose(
+        analytic,
+        numeric,
+        rtol=rtol,
+        atol=atol,
+        err_msg="forward-mode jvp disagrees with central differences",
+    )
+
+
+def check_hvp(
+    fn: Callable,
+    x_np: np.ndarray,
+    v_np: np.ndarray = None,
+    eps: float = 1e-3,
+    rtol: float = 1e-2,
+    atol: float = 1e-3,
+) -> None:
+    """Cross-check three Hessian-vector-product implementations.
+
+    The objective is ``reduce_sum(fn(x))``.  Compared:
+
+    1. forward-over-reverse (``repro.hvp``: ForwardAccumulator outside,
+       GradientTape inside),
+    2. reverse-over-reverse (tape over tape, contracting the gradient
+       with ``v`` before the outer sweep),
+    3. central differences of the *gradient* along ``v``.
+
+    Agreement of (1) and (2) checks the two composition orders of the
+    same registry; (3) anchors both to the definition.
+    """
+    x = np.asarray(x_np, dtype=np.float64)
+    if v_np is None:
+        v_np = np.random.default_rng(11).standard_normal(x.shape)
+    v = np.asarray(v_np, dtype=np.float64)
+    xt = repro.constant(x, dtype=repro.float64)
+    vt = repro.constant(v, dtype=repro.float64)
+
+    forward_over_reverse = repro.hvp(
+        lambda t: repro.reduce_sum(fn(t)), [xt], [vt]
+    )[0]
+
+    with repro.GradientTape() as outer:
+        outer.watch(xt)
+        with repro.GradientTape() as inner:
+            inner.watch(xt)
+            y = repro.reduce_sum(fn(xt))
+        (g,) = inner.gradient(y, [xt])
+        contracted = repro.reduce_sum(g * vt)
+    (reverse_over_reverse,) = outer.gradient(contracted, [xt])
+    # A function linear in x has a zero Hessian; both compositions are
+    # then legitimately unconnected.
+    if forward_over_reverse is None:
+        forward_over_reverse = repro.zeros_like(xt)
+    if reverse_over_reverse is None:
+        reverse_over_reverse = repro.zeros_like(xt)
+
+    def grad_at(arr):
+        t = repro.constant(arr, dtype=repro.float64)
+        with repro.GradientTape() as tape:
+            tape.watch(t)
+            y = repro.reduce_sum(fn(t))
+        return tape.gradient(y, [t])[0].numpy()
+
+    numeric = numeric_jvp(grad_at, x, v, eps=eps)
+    fo = np.asarray(forward_over_reverse.numpy(), dtype=np.float64)
+    ro = np.asarray(reverse_over_reverse.numpy(), dtype=np.float64)
+    np.testing.assert_allclose(
+        fo, ro, rtol=rtol, atol=atol,
+        err_msg="forward-over-reverse hvp disagrees with reverse-over-reverse",
+    )
+    np.testing.assert_allclose(
+        fo, numeric, rtol=rtol, atol=atol,
+        err_msg="hvp disagrees with central differences of the gradient",
+    )
